@@ -1,0 +1,72 @@
+"""Ablation: overlap-weighted neighbourhood vs single-nearest-prototype.
+
+Algorithm 2 predicts from the overlap-weighted set W(q) of prototypes.
+The obvious simpler alternative is to always use the single closest
+prototype's LLM.  This ablation compares the two prediction rules with the
+same trained parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.experiments import build_context
+from repro.eval.reporting import format_table
+from repro.metrics.regression import rmse
+
+
+def _nearest_prototype_prediction(model, query) -> float:
+    """Predict with the closest prototype only (the ablated rule)."""
+    vector = query.to_vector()
+    maps = model.local_maps
+    distances = [llm.distance_to(vector) for llm in maps]
+    return maps[int(np.argmin(distances))].evaluate(vector)
+
+
+def _run_ablation() -> dict:
+    context = build_context(
+        "R1",
+        dimension=2,
+        dataset_size=12_000,
+        training_queries=1_500,
+        testing_queries=200,
+        seed=7,
+    )
+    model, _ = context.train_model(coefficient=0.05)
+
+    actual, weighted, nearest = [], [], []
+    for query in context.testing.queries:
+        try:
+            truth = context.engine.execute_q1(query).mean
+        except Exception:
+            continue
+        actual.append(truth)
+        weighted.append(model.predict_mean(query))
+        nearest.append(_nearest_prototype_prediction(model, query))
+    actual_arr = np.asarray(actual)
+    return {
+        "queries": len(actual),
+        "weighted_rmse": rmse(actual_arr, np.asarray(weighted)),
+        "nearest_rmse": rmse(actual_arr, np.asarray(nearest)),
+        "prototypes": model.prototype_count,
+    }
+
+
+def test_ablation_neighborhood_aggregation(benchmark, record_table):
+    result = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    record_table(
+        "ablation_neighborhood",
+        format_table(
+            ["prediction rule", "Q1 RMSE"],
+            [
+                ["overlap-weighted W(q) (Algorithm 2)", result["weighted_rmse"]],
+                ["single nearest prototype", result["nearest_rmse"]],
+            ],
+            title=(
+                "Ablation — neighbourhood aggregation "
+                f"(R1, d=2, K={result['prototypes']}, {result['queries']} queries)"
+            ),
+        ),
+    )
+    # The weighted neighbourhood should match or beat the 1-NN rule.
+    assert result["weighted_rmse"] <= result["nearest_rmse"] * 1.05 + 1e-3

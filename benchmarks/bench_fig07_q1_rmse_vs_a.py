@@ -1,0 +1,51 @@
+"""Figure 7: Q1 prediction RMSE vs quantization coefficient ``a``.
+
+The paper reports that the RMSE of the predicted mean value grows as the
+quantization becomes coarser (larger ``a`` means fewer prototypes), for
+d in {2, 3, 5} over both datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import run_q1_accuracy_vs_coefficient
+from repro.eval.reporting import format_series_table
+
+COEFFICIENTS = (0.05, 0.1, 0.25, 0.5, 0.9)
+
+
+@pytest.mark.parametrize("dataset", ["R1", "R2"])
+def test_fig07_q1_rmse_vs_coefficient(dataset, benchmark, record_table):
+    result = benchmark.pedantic(
+        run_q1_accuracy_vs_coefficient,
+        kwargs={
+            "dataset_name": dataset,
+            "dimensions": (2, 3, 5),
+            "coefficients": COEFFICIENTS,
+            "dataset_size": 12_000,
+            "training_queries": 1_500,
+            "testing_queries": 200,
+            "seed": 7,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        f"fig07_q1_rmse_vs_a_{dataset}",
+        format_series_table(
+            "a",
+            list(result["coefficients"]),
+            result["rmse"],
+            title=f"Figure 7 — Q1 RMSE vs coefficient a ({dataset})",
+        ),
+    )
+
+    for dimension, rmses in result["rmse"].items():
+        values = np.asarray(rmses)
+        assert np.all(np.isfinite(values))
+        # Shape: the finest quantization is more accurate than the coarsest.
+        assert values[0] < values[-1]
+        # Accuracy at the fine end is a small fraction of the [0, 1] range.
+        assert values[0] < 0.12

@@ -1,0 +1,49 @@
+"""Figure 8: Q1 prediction RMSE vs the number of unseen test queries.
+
+The paper's point is robustness: once trained, the model's prediction error
+stays essentially flat as the unseen workload grows, for d in {2, 3, 5}.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import run_q1_accuracy_vs_test_size
+from repro.eval.reporting import format_series_table
+
+TEST_SIZES = (100, 200, 400, 800)
+
+
+@pytest.mark.parametrize("dataset", ["R1", "R2"])
+def test_fig08_q1_rmse_vs_test_size(dataset, benchmark, record_table):
+    result = benchmark.pedantic(
+        run_q1_accuracy_vs_test_size,
+        kwargs={
+            "dataset_name": dataset,
+            "dimensions": (2, 3, 5),
+            "test_sizes": TEST_SIZES,
+            "dataset_size": 12_000,
+            "training_queries": 1_500,
+            "seed": 7,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        f"fig08_q1_rmse_vs_testsize_{dataset}",
+        format_series_table(
+            "|V|",
+            list(result["test_sizes"]),
+            result["rmse"],
+            title=f"Figure 8 — Q1 RMSE vs number of unseen queries ({dataset})",
+        ),
+    )
+
+    for dimension, rmses in result["rmse"].items():
+        values = np.asarray(rmses)
+        assert np.all(np.isfinite(values))
+        # Shape: constant, low prediction error — the spread across test-set
+        # sizes stays small compared to the error level itself.
+        assert values.max() < 0.15
+        assert values.max() - values.min() < 0.08

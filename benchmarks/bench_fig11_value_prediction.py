@@ -1,0 +1,63 @@
+"""Figure 11: data-value prediction RMSE (metric A2) vs test-set size.
+
+The paper compares the RMSE of predicting individual data values u = g(x)
+for the LLM (no data access, Equation 14), REG and PLR (both fitted on the
+selected subspace).  PLR is the most accurate, the LLM stays in the same
+regime as REG and is robust to the size of the unseen workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import run_value_prediction_vs_test_size
+from repro.eval.reporting import format_series_table
+
+TEST_SIZES = (20, 40, 80)
+
+
+@pytest.mark.parametrize("dataset", ["R1", "R2"])
+def test_fig11_value_prediction(dataset, benchmark, record_table):
+    result = benchmark.pedantic(
+        run_value_prediction_vs_test_size,
+        kwargs={
+            "dataset_name": dataset,
+            "dimensions": (2, 5),
+            "test_sizes": TEST_SIZES,
+            "dataset_size": 12_000,
+            "training_queries": 1_500,
+            "seed": 7,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    tables = []
+    for dimension, series in result["by_dimension"].items():
+        tables.append(
+            format_series_table(
+                "|V|",
+                list(result["test_sizes"]),
+                {
+                    "LLM RMSE": series["llm_rmse"],
+                    "REG RMSE": series["reg_rmse"],
+                    "PLR RMSE": series["plr_rmse"],
+                },
+                title=f"Figure 11 — data-value RMSE vs |V| ({dataset}, {dimension})",
+            )
+        )
+    record_table(f"fig11_value_prediction_{dataset}", "\n\n".join(tables))
+
+    for dimension, series in result["by_dimension"].items():
+        llm = np.asarray(series["llm_rmse"])
+        reg = np.asarray(series["reg_rmse"])
+        plr = np.asarray(series["plr_rmse"])
+        assert np.all(np.isfinite(llm))
+        # PLR (full data access, flexible fit) is the most accurate.
+        assert np.all(plr <= reg + 1e-6)
+        # The LLM, answering without data access, stays within a small
+        # constant factor of the exact per-subspace REG fit and is robust
+        # across test-set sizes.
+        assert np.all(llm <= 5.0 * reg + 0.05)
+        assert llm.max() - llm.min() < 0.1

@@ -1,0 +1,83 @@
+"""Figure 12: query execution time vs dataset size (the headline result).
+
+The paper reports that LLM query processing time is flat in the dataset
+size (it never touches the data) and sub-millisecond, while exact REG and
+PLR execution grows with the data and is orders of magnitude slower.  This
+benchmark regenerates both panels (Q1 and Q2 latency vs N) and additionally
+uses pytest-benchmark to measure the per-query latency of the trained model
+directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import build_context, run_scalability_experiment
+from repro.eval.reporting import format_series_table
+
+DATASET_SIZES = (10_000, 40_000, 160_000)
+
+
+@pytest.fixture(scope="module")
+def scalability_result():
+    return run_scalability_experiment(
+        dataset_sizes=DATASET_SIZES,
+        dimension=2,
+        training_queries=800,
+        measured_queries=30,
+        seed=7,
+    )
+
+
+def test_fig12_latency_vs_dataset_size(scalability_result, benchmark, record_table):
+    result = scalability_result
+    q1 = format_series_table(
+        "rows",
+        result["dataset_sizes"],
+        {
+            "LLM (ms)": result["q1_latency_ms"]["llm"],
+            "exact REG (ms)": result["q1_latency_ms"]["exact_reg"],
+        },
+        title="Figure 12 (left) — Q1 latency vs dataset size",
+    )
+    q2 = format_series_table(
+        "rows",
+        result["dataset_sizes"],
+        {
+            "LLM (ms)": result["q2_latency_ms"]["llm"],
+            "exact REG (ms)": result["q2_latency_ms"]["exact_reg"],
+            "PLR (ms)": result["q2_latency_ms"]["plr"],
+        },
+        title="Figure 12 (right) — Q2 latency vs dataset size",
+    )
+    record_table("fig12_scalability", q1 + "\n\n" + q2)
+
+    llm_q1 = np.asarray(result["q1_latency_ms"]["llm"])
+    exact_q1 = np.asarray(result["q1_latency_ms"]["exact_reg"])
+    llm_q2 = np.asarray(result["q2_latency_ms"]["llm"])
+    exact_q2 = np.asarray(result["q2_latency_ms"]["exact_reg"])
+    plr_q2 = np.asarray(result["q2_latency_ms"]["plr"])
+
+    # Shape: at the largest dataset the model is much faster than exact
+    # execution for both query types, and PLR is the slowest Q2 method.
+    assert llm_q1[-1] < exact_q1[-1] / 3.0
+    assert llm_q2[-1] < exact_q2[-1] / 3.0
+    assert plr_q2[-1] > exact_q2[-1]
+    # Shape: LLM latency is flat in N (bounded variation across sizes) while
+    # exact execution grows from the smallest to the largest dataset.
+    assert llm_q1.max() < 10 * max(llm_q1.min(), 1e-6)
+    assert exact_q1[-1] > exact_q1[0]
+
+    # Timer-based measurement of the trained model's Q1 latency (largest N).
+    context = build_context(
+        "R2",
+        dimension=2,
+        dataset_size=DATASET_SIZES[-1],
+        training_queries=400,
+        testing_queries=40,
+        seed=11,
+    )
+    model, _ = context.train_model()
+    query = context.testing.queries[0]
+    benchmark(model.predict_mean, query)

@@ -1,0 +1,92 @@
+"""Gas-sensor exploration: goodness of fit of local models vs baselines.
+
+The paper's real dataset R1 is a gas-sensor-array calibration dataset whose
+features depend on each other in strongly non-linear ways, so a single
+linear regression over an analyst's region of interest explains little of
+the variance.  This example uses the library's R1 surrogate to reproduce
+the workflow of Section VI-C:
+
+1. train the query-driven model from mean-value queries,
+2. issue regression (Q2) queries over broad analyst regions,
+3. compare the goodness of fit (FVU / R²) of the model's local linear
+   planes against REG (exact OLS over the region) and PLR (MARS-style
+   piecewise regression, fitted with full data access).
+
+Run with::
+
+    python examples/gas_sensor_exploration.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Query, rmse
+from repro.eval.experiments import ANALYST_RADIUS_SCALE, build_context
+from repro.eval.reporting import format_table
+from repro.metrics.evaluation import (
+    evaluate_q1_accuracy,
+    evaluate_q2_goodness_of_fit,
+    evaluate_value_prediction,
+)
+
+
+def main() -> None:
+    print("Building the gas-sensor surrogate (R1) context: 20,000 rows, d = 2...")
+    context = build_context(
+        "R1",
+        dimension=2,
+        dataset_size=20_000,
+        training_queries=2_000,
+        testing_queries=200,
+        seed=13,
+    )
+    model, report = context.train_model(coefficient=0.05)
+    print(
+        f"Trained on {report.pairs_processed} executed queries, "
+        f"K = {model.prototype_count} local linear models."
+    )
+
+    # Q1 accuracy on unseen queries.
+    accuracy = evaluate_q1_accuracy(model, context.engine, context.testing.queries)
+    answers = context.testing.answers
+    baseline = rmse(answers, np.full_like(answers, float(answers.mean())))
+    print(f"\nQ1 prediction RMSE over {accuracy.evaluated_queries} unseen queries: "
+          f"{accuracy.rmse:.4f} (predicting the global mean would give {baseline:.4f})")
+
+    # Q2 goodness of fit over broad analyst regions.
+    analyst_queries = [
+        Query(center=q.center, radius=q.radius * ANALYST_RADIUS_SCALE)
+        for q in context.testing.queries[:40]
+    ]
+    fit = evaluate_q2_goodness_of_fit(
+        model, context.engine, analyst_queries, plr_max_basis_functions=12
+    )
+    rows = [
+        ["LLM (this work, no data access)", fit.llm_fvu, fit.llm_cod],
+        ["REG (exact OLS over the region)", fit.reg_fvu, fit.reg_cod],
+        ["PLR (MARS with data access)", fit.plr_fvu, fit.plr_cod],
+    ]
+    print("\nGoodness of fit over broad analyst regions "
+          f"({fit.evaluated_queries} regions, radius ≈ {ANALYST_RADIUS_SCALE}× the exploration radius):")
+    print(format_table(["method", "FVU (lower is better)", "R²"], rows, precision=3))
+    print(f"Average number of local models per Q2 answer: {fit.mean_local_models:.1f}")
+
+    # Data-value prediction (metric A2).
+    value_report = evaluate_value_prediction(
+        model, context.engine, context.testing.queries[:40], seed=13
+    )
+    print("\nData-value prediction RMSE (predicting u = g(x) at held-out points):")
+    print(format_table(
+        ["method", "RMSE"],
+        [["LLM", value_report["llm"]], ["REG", value_report["reg"]], ["PLR", value_report["plr"]]],
+        precision=4,
+    ))
+    print(
+        "\nThe local linear models explain the analyst regions far better than a "
+        "single regression plane, approaching PLR which needs full data access."
+    )
+
+
+if __name__ == "__main__":
+    main()

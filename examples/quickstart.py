@@ -1,0 +1,118 @@
+"""Quickstart: train a query-driven model and answer analytics queries.
+
+This walks through the full system context of the paper (Figure 2):
+
+1. generate a non-linear dataset (the Rosenbrock benchmark, used as the
+   paper's synthetic dataset R2) and load it into an exact query engine,
+2. execute a stream of random mean-value (Q1) queries against the engine
+   and train the Local Linear Mapping model from the (query, answer) pairs,
+3. answer unseen Q1 and Q2 (regression) queries from the model alone —
+   no data access — and compare against the exact answers.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import (
+    ExactQueryEngine,
+    LLMModel,
+    ModelConfig,
+    Query,
+    QueryWorkloadGenerator,
+    RadiusDistribution,
+    StreamingTrainer,
+    TrainingConfig,
+    WorkloadSpec,
+    make_rosenbrock_dataset,
+    rmse,
+)
+from repro.data.synthetic import normalize_dataset
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. Build the dataset and the exact engine (the "DBMS" of Figure 2).
+    # ------------------------------------------------------------------ #
+    print("Generating a 40,000-row Rosenbrock dataset (d = 2)...")
+    dataset = normalize_dataset(make_rosenbrock_dataset(40_000, dimension=2, seed=7))
+    engine = ExactQueryEngine(dataset)
+
+    # ------------------------------------------------------------------ #
+    # 2. Train the model from executed queries.
+    # ------------------------------------------------------------------ #
+    spec = WorkloadSpec(
+        dimension=2,
+        center_low=0.0,
+        center_high=1.0,
+        radius=RadiusDistribution(mean=0.1, std=0.03),
+    )
+    generator = QueryWorkloadGenerator(spec, seed=1)
+    training_queries = generator.generate(2_000)
+
+    model = LLMModel(
+        dimension=2,
+        config=ModelConfig(quantization_coefficient=0.05),
+        training=TrainingConfig(convergence_threshold=0.002),
+    )
+    trainer = StreamingTrainer(model, engine)
+    print("Training from the query stream (exact execution + online updates)...")
+    breakdown = trainer.train(training_queries)
+    print(
+        f"  processed {breakdown.pairs_processed} (query, answer) pairs, "
+        f"converged={breakdown.converged}, prototypes K={model.prototype_count}"
+    )
+    print(
+        f"  {100 * breakdown.query_execution_share:.1f}% of training time went to "
+        "executing queries against the engine"
+    )
+
+    # ------------------------------------------------------------------ #
+    # 3. Answer unseen queries without touching the data.
+    # ------------------------------------------------------------------ #
+    test_queries = generator.generate(200)
+
+    start = time.perf_counter()
+    predictions = [model.predict_mean(query) for query in test_queries]
+    model_ms = 1000.0 * (time.perf_counter() - start) / len(test_queries)
+
+    start = time.perf_counter()
+    exact: list[float] = []
+    kept: list[int] = []
+    for index, query in enumerate(test_queries):
+        try:
+            exact.append(engine.execute_q1(query).mean)
+            kept.append(index)
+        except Exception:
+            continue
+    exact_ms = 1000.0 * (time.perf_counter() - start) / max(len(exact), 1)
+
+    error = rmse(np.array(exact), np.array([predictions[i] for i in kept]))
+    print("\nQ1 (mean-value) queries on 200 unseen queries:")
+    print(f"  prediction RMSE            : {error:.4f}  (outputs scaled to [0, 1])")
+    print(f"  model latency per query    : {model_ms:.4f} ms  (no data access)")
+    print(f"  exact latency per query    : {exact_ms:.4f} ms")
+    print(f"  speedup                    : {exact_ms / max(model_ms, 1e-9):.0f}x")
+
+    # A regression (Q2) query: the list of local linear models over a region.
+    query = Query(center=np.array([0.5, 0.5]), radius=0.3)
+    planes = model.regression_models(query)
+    print(f"\nQ2 (regression) query over D(center=[0.5, 0.5], radius=0.3):")
+    print(f"  {len(planes)} local linear models returned:")
+    for plane in planes[:5]:
+        slope = np.array2string(plane.slope, precision=3)
+        print(
+            f"    weight={plane.weight:.2f}  u ≈ {plane.intercept:+.3f} + {slope} · x"
+        )
+    if len(planes) > 5:
+        print(f"    ... and {len(planes) - 5} more")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for legacy editable installs (offline environments).
+
+The project metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` on machines without the ``wheel``
+package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,157 @@
+"""Query-driven local linear models for in-DBMS regression analytics.
+
+This library reproduces "Efficient Scalable Accurate Regression Queries in
+In-DBMS Analytics" (Anagnostopoulos & Triantafillou, ICDE 2017).  It learns
+from previously executed mean-value (Q1) and regression (Q2) analytics
+queries and then answers new queries with sub-millisecond latency without
+accessing the underlying data.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import (
+...     LLMModel, Query, ExactQueryEngine, make_rosenbrock_dataset,
+...     QueryWorkloadGenerator, WorkloadSpec, RadiusDistribution,
+...     LabelledWorkload,
+... )
+>>> dataset = make_rosenbrock_dataset(5_000, dimension=2, seed=1)
+>>> engine = ExactQueryEngine(dataset)
+>>> spec = WorkloadSpec(dimension=2, center_low=-10, center_high=10,
+...                     radius=RadiusDistribution(mean=2.0, std=0.5))
+>>> workload = QueryWorkloadGenerator(spec, seed=1).generate(500)
+>>> labelled = LabelledWorkload.from_queries(workload, engine.mean_value)
+>>> model = LLMModel(dimension=2)
+>>> _ = model.fit(labelled)
+>>> query = Query(center=np.array([0.0, 0.0]), radius=2.0)
+>>> predicted = model.predict_mean(query)      # no data access
+>>> exact = engine.execute_q1(query).mean      # full data access
+"""
+
+from .config import ModelConfig, TrainingConfig, vigilance_radius
+from .exceptions import (
+    CatalogError,
+    ConfigurationError,
+    ConvergenceError,
+    DimensionalityMismatchError,
+    EmptySubspaceError,
+    InvalidQueryError,
+    NotFittedError,
+    ReproError,
+    SQLSyntaxError,
+    StorageError,
+    WorkloadError,
+)
+from .queries import (
+    LabelledWorkload,
+    Query,
+    QueryAnswer,
+    QueryAnswerStream,
+    QueryResultPair,
+    QueryWorkloadGenerator,
+    RadiusDistribution,
+    TrainTestSplit,
+    WorkloadSpec,
+    split_workload,
+)
+from .data import (
+    MinMaxScaler,
+    SyntheticDataset,
+    generate_gas_sensor_dataset,
+    get_data_function,
+    list_data_functions,
+    make_function_dataset,
+    make_rosenbrock_dataset,
+)
+from .dbms import (
+    AnalyticsSession,
+    ExactQueryEngine,
+    GridIndex,
+    SQLiteDataStore,
+    parse_statement,
+)
+from .core import (
+    FixedKQuantizer,
+    GrowingQuantizer,
+    LLMModel,
+    LocalLinearMap,
+    RegressionPlane,
+    StreamingTrainer,
+    TrainingReport,
+    load_model,
+    save_model,
+)
+from .baselines import (
+    MARSRegressor,
+    OLSRegressor,
+    SamplingRegressor,
+    fit_plr_over_subspace,
+    fit_reg_over_subspace,
+)
+from .metrics import cod, fvu, rmse
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "ModelConfig",
+    "TrainingConfig",
+    "vigilance_radius",
+    # exceptions
+    "ReproError",
+    "InvalidQueryError",
+    "DimensionalityMismatchError",
+    "NotFittedError",
+    "EmptySubspaceError",
+    "StorageError",
+    "CatalogError",
+    "SQLSyntaxError",
+    "ConfigurationError",
+    "ConvergenceError",
+    "WorkloadError",
+    # queries
+    "Query",
+    "QueryAnswer",
+    "QueryResultPair",
+    "QueryWorkloadGenerator",
+    "RadiusDistribution",
+    "WorkloadSpec",
+    "TrainTestSplit",
+    "split_workload",
+    "QueryAnswerStream",
+    "LabelledWorkload",
+    # data
+    "SyntheticDataset",
+    "make_rosenbrock_dataset",
+    "make_function_dataset",
+    "generate_gas_sensor_dataset",
+    "get_data_function",
+    "list_data_functions",
+    "MinMaxScaler",
+    # dbms
+    "SQLiteDataStore",
+    "GridIndex",
+    "ExactQueryEngine",
+    "AnalyticsSession",
+    "parse_statement",
+    # core
+    "LLMModel",
+    "TrainingReport",
+    "LocalLinearMap",
+    "RegressionPlane",
+    "GrowingQuantizer",
+    "FixedKQuantizer",
+    "StreamingTrainer",
+    "save_model",
+    "load_model",
+    # baselines
+    "OLSRegressor",
+    "MARSRegressor",
+    "SamplingRegressor",
+    "fit_reg_over_subspace",
+    "fit_plr_over_subspace",
+    # metrics
+    "rmse",
+    "fvu",
+    "cod",
+]

@@ -1,0 +1,24 @@
+"""Baseline regression models the paper compares against.
+
+* ``REG`` — exact multivariate ordinary least squares regression fitted
+  over the data subspace selected by a query (what PostgreSQL / Matlab
+  ``regress`` computes in the paper's evaluation).
+* ``PLR`` — piecewise linear regression via a MARS-style forward/backward
+  procedure with a generalised cross-validation penalty (the role played by
+  the ARESLab toolbox in the paper).
+* sampling variants of both, which trade accuracy for speed by fitting on a
+  random sample of the subspace (discussed in Section VI-C).
+"""
+
+from .ols import OLSRegressor, fit_reg_over_subspace
+from .plr import MARSRegressor, BasisFunction, fit_plr_over_subspace
+from .sampling import SamplingRegressor
+
+__all__ = [
+    "OLSRegressor",
+    "fit_reg_over_subspace",
+    "MARSRegressor",
+    "BasisFunction",
+    "fit_plr_over_subspace",
+    "SamplingRegressor",
+]

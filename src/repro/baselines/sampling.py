@@ -1,0 +1,98 @@
+"""Sampling-based baseline regressors.
+
+Section VI-C of the paper discusses applying PLR (or REG) over a small
+random sample of the subspace as an efficiency/accuracy trade-off, and shows
+that even a 0.01% sample leaves PLR orders of magnitude slower than the
+query-driven model.  :class:`SamplingRegressor` wraps either baseline with a
+uniform row sample so the trade-off can be reproduced.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, EmptySubspaceError
+from .ols import OLSRegressor
+from .plr import MARSRegressor
+
+__all__ = ["SamplingRegressor"]
+
+
+class SamplingRegressor:
+    """Fit REG or PLR over a uniform random sample of the provided rows.
+
+    Parameters
+    ----------
+    kind:
+        ``"reg"`` for OLS or ``"plr"`` for the MARS-style baseline.
+    sample_fraction:
+        Fraction of the rows to sample (without replacement).  A minimum of
+        ``min_rows`` rows is always kept so very small subspaces still fit.
+    min_rows:
+        Lower bound on the sample size.
+    seed:
+        RNG seed for the row sample.
+    plr_max_basis_functions:
+        Forwarded to :class:`~repro.baselines.plr.MARSRegressor` when
+        ``kind="plr"``.
+    """
+
+    def __init__(
+        self,
+        kind: Literal["reg", "plr"] = "reg",
+        sample_fraction: float = 0.01,
+        *,
+        min_rows: int = 32,
+        seed: int | None = None,
+        plr_max_basis_functions: int = 20,
+    ) -> None:
+        if kind not in ("reg", "plr"):
+            raise ConfigurationError(f"kind must be 'reg' or 'plr', got {kind!r}")
+        if not 0.0 < sample_fraction <= 1.0:
+            raise ConfigurationError(
+                f"sample_fraction must be in (0, 1], got {sample_fraction}"
+            )
+        if min_rows < 1:
+            raise ConfigurationError(f"min_rows must be >= 1, got {min_rows}")
+        self.kind = kind
+        self.sample_fraction = float(sample_fraction)
+        self.min_rows = int(min_rows)
+        self.plr_max_basis_functions = int(plr_max_basis_functions)
+        self._rng = np.random.default_rng(seed)
+        self._model: OLSRegressor | MARSRegressor | None = None
+        self.sampled_rows = 0
+
+    @property
+    def model(self) -> OLSRegressor | MARSRegressor:
+        """The underlying fitted model."""
+        if self._model is None:
+            raise EmptySubspaceError("SamplingRegressor has not been fitted")
+        return self._model
+
+    def fit(self, inputs: np.ndarray, outputs: np.ndarray) -> "SamplingRegressor":
+        """Sample the rows and fit the wrapped baseline on the sample."""
+        x = np.atleast_2d(np.asarray(inputs, dtype=float))
+        u = np.asarray(outputs, dtype=float).ravel()
+        if x.shape[0] == 0:
+            raise EmptySubspaceError("cannot fit on an empty subspace")
+        sample_size = max(int(round(x.shape[0] * self.sample_fraction)), self.min_rows)
+        sample_size = min(sample_size, x.shape[0])
+        indices = self._rng.choice(x.shape[0], size=sample_size, replace=False)
+        self.sampled_rows = int(sample_size)
+        if self.kind == "reg":
+            self._model = OLSRegressor().fit(x[indices], u[indices])
+        else:
+            self._model = MARSRegressor(
+                max_basis_functions=self.plr_max_basis_functions
+            ).fit(x[indices], u[indices])
+        return self
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Predict outputs using the model fitted on the sample."""
+        return self.model.predict(inputs)
+
+    def r_squared(self, inputs: np.ndarray, outputs: np.ndarray) -> float:
+        """Coefficient of determination of the sampled fit on the full rows."""
+        return self.model.r_squared(inputs, outputs)

@@ -1,0 +1,185 @@
+"""Adaptive vector quantization of the query space.
+
+The paper quantizes the query space ``Q`` online with a *conditionally
+growing* AVQ scheme (Section IV): a new query either updates the closest
+prototype (when it lies within the vigilance radius ``rho``) or becomes a
+new prototype itself.  :class:`GrowingQuantizer` implements that scheme over
+:class:`~repro.core.prototypes.LocalLinearMap` objects so prototype motion
+and coefficient learning stay attached to the same record.
+
+:class:`FixedKQuantizer` is an online k-means-style quantizer with a fixed
+number of prototypes, provided for the ablation benchmark comparing the
+paper's growth criterion against the classical "choose K in advance"
+alternative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, DimensionalityMismatchError
+from .prototypes import LocalLinearMap, LocalModelParameters
+
+__all__ = ["GrowingQuantizer", "FixedKQuantizer"]
+
+
+class GrowingQuantizer:
+    """Conditionally growing AVQ over the query space.
+
+    Parameters
+    ----------
+    vigilance:
+        The threshold ``rho``: a query further than this from every existing
+        prototype spawns a new prototype.
+    """
+
+    def __init__(self, vigilance: float) -> None:
+        if vigilance <= 0:
+            raise ConfigurationError(f"vigilance must be positive, got {vigilance}")
+        self.vigilance = float(vigilance)
+        self.parameters = LocalModelParameters()
+        #: Number of times a query spawned a new prototype.
+        self.growth_events = 0
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    @property
+    def prototype_count(self) -> int:
+        """Current number of prototypes ``K``."""
+        return len(self.parameters)
+
+    @property
+    def maps(self) -> list[LocalLinearMap]:
+        """The LLMs attached to the prototypes."""
+        return list(self.parameters)
+
+    def prototype_matrix(self) -> np.ndarray:
+        """Stack the prototypes into a ``(K, d + 1)`` matrix."""
+        return self.parameters.prototype_matrix()
+
+    # ------------------------------------------------------------------ #
+    # quantization
+    # ------------------------------------------------------------------ #
+    def find_winner(self, query_vector: np.ndarray) -> tuple[int, float]:
+        """Return ``(index, distance)`` of the closest prototype.
+
+        Raises
+        ------
+        ConfigurationError
+            If the quantizer holds no prototypes yet.
+        """
+        if not self.parameters.maps:
+            raise ConfigurationError("the quantizer holds no prototypes yet")
+        vec = np.asarray(query_vector, dtype=float).ravel()
+        matrix = self.parameters.prototype_matrix()
+        if vec.shape[0] != matrix.shape[1]:
+            raise DimensionalityMismatchError(
+                f"query vector has dimension {vec.shape[0]}, prototypes have "
+                f"{matrix.shape[1]}"
+            )
+        distances = np.linalg.norm(matrix - vec[np.newaxis, :], axis=1)
+        winner = int(np.argmin(distances))
+        return winner, float(distances[winner])
+
+    def observe(
+        self, query_vector: np.ndarray, answer: float = 0.0
+    ) -> tuple[int, bool, float]:
+        """Route a query to its winner or grow a new prototype.
+
+        Returns
+        -------
+        tuple
+            ``(winner_index, grew, distance)`` where ``grew`` indicates that
+            a new prototype was created at the query position (in which case
+            ``winner_index`` points at the new prototype and ``distance`` is
+            the distance to the previously closest prototype, or infinity if
+            this was the first query).
+        """
+        vec = np.asarray(query_vector, dtype=float).ravel()
+        if not self.parameters.maps:
+            self.parameters.add(LocalLinearMap(prototype=vec, mean_output=answer))
+            self.growth_events += 1
+            return 0, True, float("inf")
+        winner, distance = self.find_winner(vec)
+        if distance <= self.vigilance:
+            return winner, False, distance
+        self.parameters.add(LocalLinearMap(prototype=vec, mean_output=answer))
+        self.growth_events += 1
+        return len(self.parameters) - 1, True, distance
+
+    # ------------------------------------------------------------------ #
+    # diagnostics
+    # ------------------------------------------------------------------ #
+    def quantization_error(self, query_vectors: np.ndarray) -> float:
+        """Empirical expected quantization error over a batch of query vectors.
+
+        This is the sample estimate of the EQE objective ``J`` (Equation 7):
+        the mean squared distance from each query to its closest prototype.
+        """
+        vectors = np.atleast_2d(np.asarray(query_vectors, dtype=float))
+        if not self.parameters.maps:
+            raise ConfigurationError("the quantizer holds no prototypes yet")
+        matrix = self.parameters.prototype_matrix()
+        if vectors.shape[1] != matrix.shape[1]:
+            raise DimensionalityMismatchError(
+                f"query vectors have dimension {vectors.shape[1]}, prototypes "
+                f"have {matrix.shape[1]}"
+            )
+        # (n, K) distance matrix without materialising huge intermediates for
+        # the workloads used here (n and K are both modest).
+        differences = vectors[:, np.newaxis, :] - matrix[np.newaxis, :, :]
+        distances = np.linalg.norm(differences, axis=2)
+        return float(np.mean(np.min(distances, axis=1) ** 2))
+
+    def assignments(self, query_vectors: np.ndarray) -> np.ndarray:
+        """Return the index of the winning prototype for each query vector."""
+        vectors = np.atleast_2d(np.asarray(query_vectors, dtype=float))
+        matrix = self.parameters.prototype_matrix()
+        differences = vectors[:, np.newaxis, :] - matrix[np.newaxis, :, :]
+        distances = np.linalg.norm(differences, axis=2)
+        return np.argmin(distances, axis=1)
+
+
+class FixedKQuantizer:
+    """Online quantizer with a fixed number of prototypes (ablation baseline).
+
+    The first ``k`` distinct queries become the prototypes; afterwards every
+    query moves its winner by ``eta (q - w_j)`` exactly as the growing
+    quantizer does, but no new prototypes are ever created.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self.k = int(k)
+        self.parameters = LocalModelParameters()
+
+    @property
+    def prototype_count(self) -> int:
+        return len(self.parameters)
+
+    @property
+    def maps(self) -> list[LocalLinearMap]:
+        return list(self.parameters)
+
+    def find_winner(self, query_vector: np.ndarray) -> tuple[int, float]:
+        """Return ``(index, distance)`` of the closest prototype."""
+        if not self.parameters.maps:
+            raise ConfigurationError("the quantizer holds no prototypes yet")
+        vec = np.asarray(query_vector, dtype=float).ravel()
+        matrix = self.parameters.prototype_matrix()
+        distances = np.linalg.norm(matrix - vec[np.newaxis, :], axis=1)
+        winner = int(np.argmin(distances))
+        return winner, float(distances[winner])
+
+    def observe(
+        self, query_vector: np.ndarray, answer: float = 0.0
+    ) -> tuple[int, bool, float]:
+        """Seed prototypes until ``k`` exist, then always route to the winner."""
+        vec = np.asarray(query_vector, dtype=float).ravel()
+        if len(self.parameters) < self.k:
+            self.parameters.add(LocalLinearMap(prototype=vec, mean_output=answer))
+            return len(self.parameters) - 1, True, float("inf")
+        winner, distance = self.find_winner(vec)
+        return winner, False, distance

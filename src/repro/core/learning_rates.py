@@ -1,0 +1,128 @@
+"""Learning-rate schedules for the stochastic gradient descent updates.
+
+The paper adopts the hyperbolic schedule ``eta_t = 1 / (t + 1)`` (Bottou's
+"stochastic gradient tricks"), which satisfies the Robbins-Monro conditions
+``sum eta_t = inf`` and ``sum eta_t^2 < inf`` required by the convergence
+theorems.  Constant and power schedules are provided for the ablation
+benchmark on the learning-rate choice.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "LearningRateSchedule",
+    "HyperbolicRate",
+    "ConstantRate",
+    "PowerRate",
+    "get_schedule",
+]
+
+
+class LearningRateSchedule(ABC):
+    """A mapping from the (0-based) step index to a learning rate in (0, 1]."""
+
+    #: Identifier used by :func:`get_schedule`.
+    name: str = "abstract"
+
+    @abstractmethod
+    def rate(self, step: int) -> float:
+        """Return the learning rate for step ``step`` (0-based)."""
+
+    def __call__(self, step: int) -> float:
+        if step < 0:
+            raise ConfigurationError(f"step must be >= 0, got {step}")
+        value = self.rate(step)
+        # Clamp to (0, 1]: the update rules of Theorem 4 assume eta in (0, 1).
+        return float(min(max(value, 1e-12), 1.0))
+
+    def satisfies_robbins_monro(self) -> bool:
+        """Whether the schedule satisfies the Robbins-Monro conditions.
+
+        Only schedules that decay like ``t^-p`` with ``1/2 < p <= 1`` do;
+        constant schedules do not (their squared sum diverges).
+        """
+        return False
+
+
+class HyperbolicRate(LearningRateSchedule):
+    """The paper's schedule: ``eta_t = scale / (t + 1)``."""
+
+    name = "hyperbolic"
+
+    def __init__(self, scale: float = 1.0) -> None:
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {scale}")
+        self.scale = float(scale)
+
+    def rate(self, step: int) -> float:
+        return self.scale / (step + 1.0)
+
+    def satisfies_robbins_monro(self) -> bool:
+        return True
+
+
+class ConstantRate(LearningRateSchedule):
+    """A constant learning rate (used by the ablation benchmark)."""
+
+    name = "constant"
+
+    def __init__(self, value: float = 0.05) -> None:
+        if not 0.0 < value <= 1.0:
+            raise ConfigurationError(f"value must be in (0, 1], got {value}")
+        self.value = float(value)
+
+    def rate(self, step: int) -> float:
+        return self.value
+
+
+class PowerRate(LearningRateSchedule):
+    """A power-law schedule ``eta_t = scale / (t + 1)^exponent``.
+
+    Exponents in ``(0.5, 1]`` satisfy the Robbins-Monro conditions; smaller
+    exponents decay too slowly for the theoretical guarantee but can be
+    useful in practice for short training streams.
+    """
+
+    name = "power"
+
+    def __init__(self, exponent: float = 0.6, scale: float = 1.0) -> None:
+        if exponent <= 0:
+            raise ConfigurationError(f"exponent must be positive, got {exponent}")
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {scale}")
+        self.exponent = float(exponent)
+        self.scale = float(scale)
+
+    def rate(self, step: int) -> float:
+        return self.scale / (step + 1.0) ** self.exponent
+
+    def satisfies_robbins_monro(self) -> bool:
+        return 0.5 < self.exponent <= 1.0
+
+
+_SCHEDULES = {
+    HyperbolicRate.name: HyperbolicRate,
+    ConstantRate.name: ConstantRate,
+    PowerRate.name: PowerRate,
+}
+
+
+def get_schedule(name: str, scale: float = 1.0) -> LearningRateSchedule:
+    """Instantiate a learning-rate schedule by name.
+
+    ``scale`` maps onto the schedule's natural scale parameter (the constant
+    value for the constant schedule).
+    """
+    if name == HyperbolicRate.name:
+        return HyperbolicRate(scale=scale)
+    if name == ConstantRate.name:
+        return ConstantRate(value=min(scale, 1.0))
+    if name == PowerRate.name:
+        return PowerRate(scale=scale)
+    raise ConfigurationError(
+        f"unknown learning-rate schedule {name!r}; known: {sorted(_SCHEDULES)}"
+    )

@@ -1,0 +1,344 @@
+"""The public model: query-driven Local Linear Mapping regression.
+
+:class:`LLMModel` ties the pieces together: it owns a growing quantizer over
+the query space, learns the LLM coefficients by SGD from a stream of
+``(query, answer)`` pairs (Algorithm 1), tracks convergence, and after
+training answers
+
+* Q1 mean-value queries (:meth:`LLMModel.predict_mean`),
+* Q2 regression queries (:meth:`LLMModel.regression_models`), and
+* data-value predictions (:meth:`LLMModel.predict_value`)
+
+without any access to the underlying data store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..config import ModelConfig, TrainingConfig
+from ..exceptions import DimensionalityMismatchError, NotFittedError
+from ..queries.query import Query, QueryResultPair
+from ..queries.stream import LabelledWorkload
+from .avq import GrowingQuantizer
+from .convergence import ConvergenceRecord, ConvergenceTracker
+from .learning_rates import LearningRateSchedule, get_schedule
+from .prediction import NeighborhoodPredictor, PredictionDiagnostics
+from .prototypes import LocalLinearMap, RegressionPlane
+from .sgd import apply_winner_update
+
+__all__ = ["LLMModel", "TrainingReport"]
+
+
+@dataclass
+class TrainingReport:
+    """Summary of one training run of :meth:`LLMModel.fit`.
+
+    Attributes
+    ----------
+    pairs_processed:
+        Number of ``(query, answer)`` pairs consumed.
+    converged:
+        Whether the ``Gamma <= gamma`` criterion fired (as opposed to the
+        stream ending or ``max_steps`` being hit).
+    final_criterion:
+        The last observed value of ``max(Gamma_J, Gamma_H)``.
+    prototype_count:
+        The number of prototypes ``K`` at the end of training.
+    criterion_history:
+        The full ``Gamma`` trajectory (empty when history recording is off).
+    """
+
+    pairs_processed: int = 0
+    converged: bool = False
+    final_criterion: float = float("inf")
+    prototype_count: int = 0
+    criterion_history: list[ConvergenceRecord] = field(default_factory=list)
+
+    def criterion_values(self) -> np.ndarray:
+        """Return the trajectory of the termination criterion as an array."""
+        return np.array([record.criterion for record in self.criterion_history])
+
+
+class LLMModel:
+    """Query-driven local linear model for Q1/Q2 analytics queries.
+
+    Parameters
+    ----------
+    dimension:
+        Dimensionality ``d`` of the data (and query-center) space.
+    config:
+        Quantization configuration; defaults to the paper's settings
+        (``a = 0.25``, Euclidean norm).
+    training:
+        Training configuration; defaults to the paper's settings
+        (``gamma = 0.01``, hyperbolic learning rate).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.queries import Query
+    >>> model = LLMModel(dimension=1)
+    >>> rng = np.random.default_rng(0)
+    >>> pairs = []
+    >>> for _ in range(300):
+    ...     center = rng.uniform(0, 1, size=1)
+    ...     query = Query(center=center, radius=0.1)
+    ...     pairs.append((query, float(center[0] * 2.0)))
+    >>> report = model.fit(pairs)
+    >>> prediction = model.predict_mean(Query(center=np.array([0.5]), radius=0.1))
+    >>> abs(prediction - 1.0) < 0.25
+    True
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        config: ModelConfig | None = None,
+        training: TrainingConfig | None = None,
+    ) -> None:
+        if dimension < 1:
+            raise DimensionalityMismatchError(f"dimension must be >= 1, got {dimension}")
+        self.dimension = int(dimension)
+        self.config = config or ModelConfig()
+        self.training = training or TrainingConfig()
+        self._vigilance = self.config.vigilance(self.dimension)
+        self._quantizer = GrowingQuantizer(vigilance=self._vigilance)
+        self._schedule: LearningRateSchedule = get_schedule(
+            self.training.learning_rate_schedule, self.training.learning_rate_scale
+        )
+        self._tracker = ConvergenceTracker(
+            threshold=self.training.convergence_threshold,
+            min_steps=self.training.min_steps,
+            record_history=self.training.record_history,
+            window=self.training.convergence_window,
+        )
+        self._steps = 0
+        self._frozen = False
+        self._fitted = False
+        self._cached_predictor: NeighborhoodPredictor | None = None
+        self._cached_predictor_steps = -1
+        self.last_report: TrainingReport | None = None
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    @property
+    def vigilance(self) -> float:
+        """The resolved vigilance threshold ``rho``."""
+        return self._vigilance
+
+    @property
+    def prototype_count(self) -> int:
+        """Current number of prototypes ``K``."""
+        return self._quantizer.prototype_count
+
+    @property
+    def local_maps(self) -> list[LocalLinearMap]:
+        """The trained local linear maps."""
+        return self._quantizer.maps
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether the model has processed at least one training pair."""
+        return self._fitted
+
+    @property
+    def is_frozen(self) -> bool:
+        """Whether training has terminated (no further parameter changes)."""
+        return self._frozen
+
+    @property
+    def steps(self) -> int:
+        """Number of training pairs processed so far."""
+        return self._steps
+
+    @property
+    def convergence_tracker(self) -> ConvergenceTracker:
+        """The convergence tracker (exposed for experiments)."""
+        return self._tracker
+
+    def _predictor(self) -> NeighborhoodPredictor:
+        if not self._fitted:
+            raise NotFittedError("the model must be fitted before prediction")
+        # Rebuilding the dense parameter snapshot is O(dK); caching it keeps
+        # repeated predictions at the vectorised O(dK) arithmetic cost only.
+        if self._cached_predictor is None or self._cached_predictor_steps != self._steps:
+            self._cached_predictor = NeighborhoodPredictor(self._quantizer.maps)
+            self._cached_predictor_steps = self._steps
+        return self._cached_predictor
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def partial_fit(self, query: Query, answer: float) -> ConvergenceRecord:
+        """Process a single ``(query, answer)`` pair (one step of Algorithm 1).
+
+        After the termination criterion has fired the model is *frozen*:
+        further calls return the last convergence record without modifying
+        any parameter, matching the paper's "at that time and onwards, the
+        algorithm returns the parameter set and no further modification is
+        performed".
+        """
+        if query.dimension != self.dimension:
+            raise DimensionalityMismatchError(
+                f"query has dimension {query.dimension}, model expects {self.dimension}"
+            )
+        if self._frozen:
+            record = self._tracker.last_record
+            assert record is not None
+            return record
+
+        vector = query.to_vector()
+        winner_index, grew, _ = self._quantizer.observe(vector, answer=float(answer))
+        if not grew:
+            winner = self._quantizer.maps[winner_index]
+            # The learning-rate schedule is indexed by the winner's own update
+            # count, so every LLM's coefficients follow their full Robbins-
+            # Monro trajectory regardless of how many other prototypes exist.
+            learning_rate = self._schedule(winner.updates)
+            apply_winner_update(winner, vector, float(answer), learning_rate)
+        self._steps += 1
+        self._fitted = True
+        record = self._tracker.observe(self._quantizer.parameters)
+        if self._tracker.has_converged():
+            self._frozen = True
+        return record
+
+    def fit(
+        self,
+        pairs: Iterable[tuple[Query, float] | QueryResultPair],
+        *,
+        reset: bool = False,
+    ) -> TrainingReport:
+        """Train on a stream of ``(query, answer)`` pairs until convergence.
+
+        Parameters
+        ----------
+        pairs:
+            Either ``(Query, float)`` tuples or
+            :class:`~repro.queries.query.QueryResultPair` objects, e.g. a
+            :class:`~repro.queries.stream.LabelledWorkload`.
+        reset:
+            Start from scratch (drop all prototypes) before training.
+        """
+        if reset:
+            self.reset()
+        processed = 0
+        for pair in pairs:
+            if isinstance(pair, QueryResultPair):
+                query, answer = pair.query, pair.answer
+            else:
+                query, answer = pair
+            self.partial_fit(query, float(answer))
+            processed += 1
+            if self._frozen:
+                break
+            if (
+                self.training.max_steps is not None
+                and self._steps >= self.training.max_steps
+            ):
+                break
+        report = TrainingReport(
+            pairs_processed=processed,
+            converged=self._frozen,
+            final_criterion=self._tracker.last_criterion,
+            prototype_count=self.prototype_count,
+            criterion_history=list(self._tracker.history),
+        )
+        self.last_report = report
+        return report
+
+    def fit_workload(self, workload: LabelledWorkload, *, reset: bool = False) -> TrainingReport:
+        """Convenience wrapper: train from a labelled workload."""
+        return self.fit(workload, reset=reset)
+
+    def reset(self) -> None:
+        """Drop every prototype and restart the training state."""
+        self._quantizer = GrowingQuantizer(vigilance=self._vigilance)
+        self._tracker.reset()
+        self._steps = 0
+        self._frozen = False
+        self._fitted = False
+        self._cached_predictor = None
+        self._cached_predictor_steps = -1
+        self.last_report = None
+
+    # ------------------------------------------------------------------ #
+    # prediction (Section V)
+    # ------------------------------------------------------------------ #
+    def predict_mean(self, query: Query) -> float:
+        """Predict the Q1 answer of an unseen query (Algorithm 2)."""
+        return self._predictor().predict_mean(query)
+
+    def predict_mean_with_diagnostics(
+        self, query: Query
+    ) -> tuple[float, PredictionDiagnostics]:
+        """Q1 prediction plus the neighbourhood used to produce it."""
+        return self._predictor().predict_mean_with_diagnostics(query)
+
+    def predict_means(self, queries: Sequence[Query]) -> np.ndarray:
+        """Vectorised convenience wrapper over :meth:`predict_mean`."""
+        predictor = self._predictor()
+        return np.array([predictor.predict_mean(query) for query in queries])
+
+    def regression_models(self, query: Query) -> list[RegressionPlane]:
+        """Return the list ``S`` of local regression planes (Algorithm 3)."""
+        return self._predictor().regression_models(query)
+
+    def predict_value(self, point: np.ndarray, radius: float | None = None) -> float:
+        """Predict the data value ``u ≈ g(x)`` at a point (Equation 14).
+
+        ``radius`` defaults to the average prototype radius, which mirrors
+        the evaluation's use of the workload's typical radius for data-value
+        probes.
+        """
+        predictor = self._predictor()
+        probe_radius = radius if radius is not None else self.average_prototype_radius()
+        return predictor.predict_value(point, probe_radius, self.config.norm_order)
+
+    def predict_values(self, points: np.ndarray, radius: float | None = None) -> np.ndarray:
+        """Vector form of :meth:`predict_value`."""
+        predictor = self._predictor()
+        probe_radius = radius if radius is not None else self.average_prototype_radius()
+        return predictor.predict_values(points, probe_radius, self.config.norm_order)
+
+    # ------------------------------------------------------------------ #
+    # diagnostics
+    # ------------------------------------------------------------------ #
+    def average_prototype_radius(self) -> float:
+        """Mean radius component across the prototypes."""
+        if not self._fitted:
+            raise NotFittedError("the model must be fitted before inspection")
+        return float(np.mean([llm.radius for llm in self._quantizer.maps]))
+
+    def prototype_matrix(self) -> np.ndarray:
+        """The ``(K, d + 1)`` matrix of prototype vectors."""
+        if not self._fitted:
+            raise NotFittedError("the model must be fitted before inspection")
+        return self._quantizer.prototype_matrix()
+
+    def memory_footprint(self) -> int:
+        """Approximate number of floats stored by the model: ``K (2d + 3)``.
+
+        Each LLM stores a ``(d + 1)``-prototype, a ``(d + 1)``-slope and a
+        scalar intercept — the ``O(dK)`` space cost the paper reports.
+        """
+        if not self._fitted:
+            return 0
+        per_map = 2 * (self.dimension + 1) + 1
+        return self.prototype_count * per_map
+
+    def describe(self) -> dict:
+        """Return a readable summary of the trained model."""
+        return {
+            "dimension": self.dimension,
+            "vigilance": self.vigilance,
+            "prototype_count": self.prototype_count,
+            "steps": self.steps,
+            "frozen": self.is_frozen,
+            "memory_floats": self.memory_footprint(),
+        }

@@ -1,0 +1,98 @@
+"""Model persistence.
+
+Trained models are tiny — ``O(dK)`` floats — so JSON is a convenient,
+inspectable storage format.  :func:`save_model` and :func:`load_model`
+round-trip every trained parameter together with the configuration needed
+to rebuild an equivalent :class:`~repro.core.model.LLMModel`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..config import ModelConfig, TrainingConfig
+from ..exceptions import NotFittedError, ReproError
+from .model import LLMModel
+from .prototypes import LocalLinearMap
+
+__all__ = ["save_model", "load_model", "model_to_dict", "model_from_dict"]
+
+#: Format marker written to every persisted model file.
+FORMAT_VERSION = 1
+
+
+def model_to_dict(model: LLMModel) -> dict:
+    """Serialise a trained model (configuration + parameters) to a dict."""
+    if not model.is_fitted:
+        raise NotFittedError("cannot persist a model that has not been fitted")
+    return {
+        "format_version": FORMAT_VERSION,
+        "dimension": model.dimension,
+        "config": {
+            "quantization_coefficient": model.config.quantization_coefficient,
+            "norm_order": model.config.norm_order,
+            "vigilance_override": model.config.vigilance_override,
+        },
+        "training": {
+            "convergence_threshold": model.training.convergence_threshold,
+            "min_steps": model.training.min_steps,
+            "learning_rate_schedule": model.training.learning_rate_schedule,
+            "learning_rate_scale": model.training.learning_rate_scale,
+        },
+        "state": {
+            "steps": model.steps,
+            "frozen": model.is_frozen,
+        },
+        "maps": [llm.to_dict() for llm in model.local_maps],
+    }
+
+
+def model_from_dict(payload: dict) -> LLMModel:
+    """Rebuild a model from :func:`model_to_dict` output."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported model format version {version!r} (expected {FORMAT_VERSION})"
+        )
+    config_payload = payload.get("config", {})
+    training_payload = payload.get("training", {})
+    config = ModelConfig(
+        quantization_coefficient=config_payload.get("quantization_coefficient", 0.25),
+        norm_order=config_payload.get("norm_order", 2.0),
+        vigilance_override=config_payload.get("vigilance_override"),
+    )
+    training = TrainingConfig(
+        convergence_threshold=training_payload.get("convergence_threshold", 0.01),
+        min_steps=training_payload.get("min_steps", 10),
+        learning_rate_schedule=training_payload.get("learning_rate_schedule", "hyperbolic"),
+        learning_rate_scale=training_payload.get("learning_rate_scale", 1.0),
+    )
+    model = LLMModel(dimension=int(payload["dimension"]), config=config, training=training)
+    for map_payload in payload.get("maps", []):
+        llm = LocalLinearMap.from_dict(map_payload)
+        model._quantizer.parameters.add(llm)  # noqa: SLF001 - controlled rebuild
+    state = payload.get("state", {})
+    model._steps = int(state.get("steps", 0))  # noqa: SLF001
+    model._frozen = bool(state.get("frozen", False))  # noqa: SLF001
+    model._fitted = bool(payload.get("maps"))  # noqa: SLF001
+    return model
+
+
+def save_model(model: LLMModel, path: str | Path) -> Path:
+    """Write a trained model to a JSON file and return the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(model_to_dict(model), handle, indent=2)
+    return target
+
+
+def load_model(path: str | Path) -> LLMModel:
+    """Load a trained model from a JSON file produced by :func:`save_model`."""
+    source = Path(path)
+    if not source.exists():
+        raise ReproError(f"model file does not exist: {source}")
+    with source.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return model_from_dict(payload)

@@ -1,0 +1,242 @@
+"""Query processing over trained LLMs (Section V).
+
+Prediction for an unseen query ``q = [x, theta]`` is a weighted
+nearest-neighbour regression over the *overlapping prototype set*
+
+``W(q) = { w_k : delta(q, w_k) > 0 }``
+
+where ``delta`` is the degree of overlap of Equation (9).  For Q1 the
+prediction is the ``delta``-weighted average of the LLM evaluations
+(Algorithm 2); for Q2 the answer is the list of regression planes of the
+overlapping LLMs (Algorithm 3, Theorem 3); for data-value prediction the
+LLMs are evaluated at their own radii and combined with the same weights
+(Equation 14).  When no prototype overlaps the query, the single closest
+prototype is used (extrapolation).
+
+The predictor snapshots the LLM parameters into dense arrays at
+construction time so a prediction costs a handful of vectorised O(dK)
+operations — the data-size-independent cost the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DimensionalityMismatchError, NotFittedError
+from ..queries.geometry import overlap_degree
+from ..queries.query import Query
+from .prototypes import LocalLinearMap, RegressionPlane
+
+__all__ = [
+    "overlapping_prototypes",
+    "normalized_overlap_weights",
+    "NeighborhoodPredictor",
+    "PredictionDiagnostics",
+]
+
+
+def overlapping_prototypes(
+    query: Query, maps: list[LocalLinearMap]
+) -> list[tuple[int, float]]:
+    """Return ``[(index, delta)]`` for every LLM whose prototype overlaps ``query``.
+
+    The degree of overlap compares the data subspace of the query with the
+    data subspace ``D(x_k, theta_k)`` represented by each prototype.
+    """
+    result: list[tuple[int, float]] = []
+    for index, llm in enumerate(maps):
+        degree = overlap_degree(
+            query.center,
+            query.radius,
+            llm.center,
+            llm.radius,
+            p=query.norm_order,
+        )
+        if degree > 0.0:
+            result.append((index, degree))
+    return result
+
+
+def normalized_overlap_weights(
+    overlaps: list[tuple[int, float]]
+) -> list[tuple[int, float]]:
+    """Normalise overlap degrees into weights summing to one.
+
+    If every degree is zero (possible when all the overlapping pairs just
+    touch), uniform weights are returned so the prediction stays defined.
+    """
+    if not overlaps:
+        return []
+    total = sum(degree for _, degree in overlaps)
+    if total <= 0.0:
+        uniform = 1.0 / len(overlaps)
+        return [(index, uniform) for index, _ in overlaps]
+    return [(index, degree / total) for index, degree in overlaps]
+
+
+@dataclass(frozen=True)
+class PredictionDiagnostics:
+    """Bookkeeping of one prediction: which prototypes were used and how."""
+
+    used_indices: tuple[int, ...]
+    weights: tuple[float, ...]
+    extrapolated: bool
+
+    @property
+    def neighborhood_size(self) -> int:
+        """Number of LLMs that contributed to the prediction."""
+        return len(self.used_indices)
+
+
+class NeighborhoodPredictor:
+    """Implements Algorithms 2 and 3 and Equation (14) over a set of LLMs."""
+
+    def __init__(self, maps: list[LocalLinearMap]) -> None:
+        self._maps = maps
+        if maps:
+            prototypes = np.vstack([llm.prototype for llm in maps])
+            self._centers = prototypes[:, :-1]
+            self._radii = prototypes[:, -1]
+            self._prototypes = prototypes
+            self._means = np.array([llm.mean_output for llm in maps])
+            self._slopes = np.vstack([llm.slope for llm in maps])
+            self._center_slopes = self._slopes[:, :-1]
+        else:
+            self._centers = np.empty((0, 0))
+            self._radii = np.empty(0)
+            self._prototypes = np.empty((0, 0))
+            self._means = np.empty(0)
+            self._slopes = np.empty((0, 0))
+            self._center_slopes = np.empty((0, 0))
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _require_maps(self) -> None:
+        if not self._maps:
+            raise NotFittedError("the model holds no local linear maps yet")
+
+    def _check_dimension(self, query: Query) -> None:
+        if query.dimension != self._centers.shape[1]:
+            raise DimensionalityMismatchError(
+                f"query has dimension {query.dimension}, model expects "
+                f"{self._centers.shape[1]}"
+            )
+
+    def _center_distances(self, center: np.ndarray, p: float) -> np.ndarray:
+        difference = self._centers - center[np.newaxis, :]
+        if np.isinf(p):
+            return np.max(np.abs(difference), axis=1)
+        if p == 1.0:
+            return np.sum(np.abs(difference), axis=1)
+        if p == 2.0:
+            return np.sqrt(np.sum(difference * difference, axis=1))
+        return np.power(
+            np.sum(np.power(np.abs(difference), p), axis=1), 1.0 / p
+        )
+
+    def _overlap_degrees(self, query: Query) -> np.ndarray:
+        """Vectorised Equation (9) against every prototype."""
+        distances = self._center_distances(query.center, query.norm_order)
+        totals = query.radius + self._radii
+        overlapping = distances <= totals
+        numerators = np.maximum(distances, np.abs(query.radius - self._radii))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            degrees = np.where(totals > 0, 1.0 - numerators / totals, 0.0)
+        degrees = np.clip(degrees, 0.0, 1.0)
+        degrees[~overlapping] = 0.0
+        return degrees
+
+    def _neighborhood(self, query: Query) -> tuple[np.ndarray, np.ndarray, bool]:
+        """Return (indices, normalised weights, extrapolated flag)."""
+        self._require_maps()
+        self._check_dimension(query)
+        degrees = self._overlap_degrees(query)
+        indices = np.nonzero(degrees > 0.0)[0]
+        if indices.size:
+            weights = degrees[indices]
+            total = weights.sum()
+            if total <= 0.0:
+                weights = np.full(indices.size, 1.0 / indices.size)
+            else:
+                weights = weights / total
+            return indices, weights, False
+        # Extrapolation: use only the closest prototype in the query space.
+        vector = query.to_vector()
+        distances = np.linalg.norm(self._prototypes - vector[np.newaxis, :], axis=1)
+        closest = int(np.argmin(distances))
+        return np.array([closest]), np.array([1.0]), True
+
+    def _evaluate_maps(self, indices: np.ndarray, query_vector: np.ndarray) -> np.ndarray:
+        """Vectorised ``f_k(q)`` for the selected LLMs."""
+        difference = query_vector[np.newaxis, :] - self._prototypes[indices]
+        return self._means[indices] + np.sum(self._slopes[indices] * difference, axis=1)
+
+    def _evaluate_maps_at_own_radius(
+        self, indices: np.ndarray, point: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised ``f_k(x, theta_k)`` (Equation 14) for the selected LLMs."""
+        difference = point[np.newaxis, :] - self._centers[indices]
+        return self._means[indices] + np.sum(
+            self._center_slopes[indices] * difference, axis=1
+        )
+
+    # ------------------------------------------------------------------ #
+    # Q1: average-value prediction (Algorithm 2)
+    # ------------------------------------------------------------------ #
+    def predict_mean(self, query: Query) -> float:
+        """Predict the Q1 answer of an unseen query."""
+        indices, weights, _ = self._neighborhood(query)
+        values = self._evaluate_maps(indices, query.to_vector())
+        return float(weights @ values)
+
+    def predict_mean_with_diagnostics(
+        self, query: Query
+    ) -> tuple[float, PredictionDiagnostics]:
+        """Predict the Q1 answer and report which LLMs contributed."""
+        indices, weights, extrapolated = self._neighborhood(query)
+        values = self._evaluate_maps(indices, query.to_vector())
+        diagnostics = PredictionDiagnostics(
+            used_indices=tuple(int(index) for index in indices),
+            weights=tuple(float(weight) for weight in weights),
+            extrapolated=extrapolated,
+        )
+        return float(weights @ values), diagnostics
+
+    # ------------------------------------------------------------------ #
+    # Q2: local regression planes (Algorithm 3)
+    # ------------------------------------------------------------------ #
+    def regression_models(self, query: Query) -> list[RegressionPlane]:
+        """Return the list ``S`` of local linear models explaining ``g`` over ``D(x, theta)``."""
+        indices, weights, _ = self._neighborhood(query)
+        return [
+            self._maps[int(index)].regression_plane(weight=float(weight))
+            for index, weight in zip(indices, weights)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # A2: data-value prediction (Equation 14)
+    # ------------------------------------------------------------------ #
+    def predict_value(self, point: np.ndarray, radius: float, norm_order: float = 2.0) -> float:
+        """Predict the data value ``u = g(x)`` at a point.
+
+        The point together with a radius forms a probe query; each
+        overlapping LLM is evaluated at its *own* radius (Equation 14) and
+        the evaluations are combined with the normalised overlap weights.
+        """
+        point_arr = np.asarray(point, dtype=float).ravel()
+        query = Query(center=point_arr, radius=radius, norm_order=norm_order)
+        indices, weights, _ = self._neighborhood(query)
+        values = self._evaluate_maps_at_own_radius(indices, point_arr)
+        return float(weights @ values)
+
+    def predict_values(
+        self, points: np.ndarray, radius: float, norm_order: float = 2.0
+    ) -> np.ndarray:
+        """Vector form of :meth:`predict_value` over the rows of ``points``."""
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        return np.array(
+            [self.predict_value(row, radius, norm_order) for row in pts], dtype=float
+        )

@@ -1,0 +1,351 @@
+"""Local Linear Mapping (LLM) containers.
+
+Each prototype ``w_k = [x_k, theta_k]`` of the quantized query space carries
+a local linear map
+
+``f_k(x, theta) = y_k + b_{X,k} (x - x_k)^T + b_{Theta,k} (theta - theta_k)``
+
+whose parameters are the triple ``alpha_k = (y_k, b_k, w_k)`` (Section
+III-A).  :class:`LocalLinearMap` owns one such triple and knows how to
+evaluate itself as a query-space mapping (for Q1 prediction) and how to
+project itself onto the data space as a regression plane (Theorem 3, for Q2
+answers and data-value prediction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import DimensionalityMismatchError, InvalidQueryError
+from ..queries.query import Query
+
+__all__ = ["LocalLinearMap", "RegressionPlane", "LocalModelParameters"]
+
+
+@dataclass(frozen=True)
+class RegressionPlane:
+    """A local linear approximation of the *data* function ``g`` over ``D_k``.
+
+    ``u ≈ intercept + slope · x`` — the Theorem-3 projection of an LLM onto
+    the data space.  This is the element type of the list ``S`` returned by
+    the Q2 query processing algorithm.
+    """
+
+    intercept: float
+    slope: np.ndarray
+    prototype_center: np.ndarray
+    prototype_radius: float
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        slope = np.asarray(self.slope, dtype=float).ravel()
+        center = np.asarray(self.prototype_center, dtype=float).ravel()
+        if slope.shape[0] != center.shape[0]:
+            raise DimensionalityMismatchError(
+                f"slope has dimension {slope.shape[0]} but the prototype center "
+                f"has {center.shape[0]}"
+            )
+        slope.setflags(write=False)
+        center.setflags(write=False)
+        object.__setattr__(self, "slope", slope)
+        object.__setattr__(self, "prototype_center", center)
+        object.__setattr__(self, "intercept", float(self.intercept))
+        object.__setattr__(self, "prototype_radius", float(self.prototype_radius))
+        object.__setattr__(self, "weight", float(self.weight))
+
+    @property
+    def dimension(self) -> int:
+        return int(self.slope.shape[0])
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        """Evaluate ``intercept + slope · x`` on one or many points."""
+        arr = np.asarray(points, dtype=float)
+        if arr.ndim == 1:
+            if arr.shape[0] != self.dimension:
+                raise DimensionalityMismatchError(
+                    f"point has dimension {arr.shape[0]}, plane has {self.dimension}"
+                )
+            return float(self.intercept + arr @ self.slope)
+        if arr.shape[1] != self.dimension:
+            raise DimensionalityMismatchError(
+                f"points have dimension {arr.shape[1]}, plane has {self.dimension}"
+            )
+        return self.intercept + arr @ self.slope
+
+    def coefficients(self) -> np.ndarray:
+        """Return the coefficient vector ``[intercept, slope...]``."""
+        return np.concatenate([[self.intercept], self.slope])
+
+
+class LocalLinearMap:
+    """One prototype of the quantized query space plus its LLM coefficients.
+
+    Parameters
+    ----------
+    prototype:
+        The ``(d + 1)``-dimensional prototype vector ``w_k = [x_k, theta_k]``.
+    mean_output:
+        The local intercept ``y_k`` (local expectation of the query answer).
+    slope:
+        The local slope ``b_k = [b_{X,k}, b_{Theta,k}]``, a ``(d + 1)``-vector
+        whose first ``d`` components differentiate with respect to the query
+        center and whose last component differentiates with respect to the
+        radius.
+    """
+
+    __slots__ = (
+        "_prototype",
+        "_mean_output",
+        "_slope",
+        "updates",
+        "_difference_second_moment",
+    )
+
+    def __init__(
+        self,
+        prototype: np.ndarray,
+        mean_output: float = 0.0,
+        slope: np.ndarray | None = None,
+    ) -> None:
+        proto = np.asarray(prototype, dtype=float).ravel().copy()
+        if proto.shape[0] < 2:
+            raise InvalidQueryError(
+                "a prototype needs at least two components (center and radius), "
+                f"got {proto.shape[0]}"
+            )
+        self._prototype = proto
+        self._mean_output = float(mean_output)
+        if slope is None:
+            self._slope = np.zeros_like(proto)
+        else:
+            slope_arr = np.asarray(slope, dtype=float).ravel().copy()
+            if slope_arr.shape != proto.shape:
+                raise DimensionalityMismatchError(
+                    f"slope shape {slope_arr.shape} does not match prototype shape "
+                    f"{proto.shape}"
+                )
+            self._slope = slope_arr
+        #: Number of winner updates this LLM has received (diagnostics).
+        self.updates = 0
+        # Running mean of ||q - w||^2 over the winner updates; used by the
+        # slope step normalisation (see :mod:`repro.core.sgd`).
+        self._difference_second_moment = 0.0
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_query(cls, query: Query, answer: float = 0.0) -> "LocalLinearMap":
+        """Initialise a new LLM at a query position.
+
+        The paper initialises new prototypes at the incoming query with zero
+        coefficients; seeding the local mean with the observed answer is a
+        strictly better starting point and is used by the growing quantizer.
+        """
+        return cls(prototype=query.to_vector(), mean_output=answer)
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    @property
+    def prototype(self) -> np.ndarray:
+        """The prototype vector ``w_k = [x_k, theta_k]`` (copy)."""
+        return self._prototype.copy()
+
+    @property
+    def center(self) -> np.ndarray:
+        """The data-space center ``x_k`` of the prototype (copy)."""
+        return self._prototype[:-1].copy()
+
+    @property
+    def radius(self) -> float:
+        """The radius component ``theta_k`` of the prototype."""
+        return float(self._prototype[-1])
+
+    @property
+    def mean_output(self) -> float:
+        """The local intercept ``y_k``."""
+        return self._mean_output
+
+    @property
+    def slope(self) -> np.ndarray:
+        """The local slope ``b_k`` over the query space (copy)."""
+        return self._slope.copy()
+
+    @property
+    def center_slope(self) -> np.ndarray:
+        """The slope with respect to the query center, ``b_{X,k}`` (copy)."""
+        return self._slope[:-1].copy()
+
+    @property
+    def radius_slope(self) -> float:
+        """The slope with respect to the radius, ``b_{Theta,k}``."""
+        return float(self._slope[-1])
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality ``d`` of the data space (prototype size minus one)."""
+        return int(self._prototype.shape[0] - 1)
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def distance_to(self, query_vector: np.ndarray) -> float:
+        """Euclidean distance from the prototype to a query vector."""
+        vec = np.asarray(query_vector, dtype=float).ravel()
+        if vec.shape != self._prototype.shape:
+            raise DimensionalityMismatchError(
+                f"query vector shape {vec.shape} does not match prototype shape "
+                f"{self._prototype.shape}"
+            )
+        return float(np.linalg.norm(vec - self._prototype))
+
+    def evaluate(self, query_vector: np.ndarray) -> float:
+        """Evaluate ``f_k(q) = y_k + b_k (q - w_k)^T`` on a query vector."""
+        vec = np.asarray(query_vector, dtype=float).ravel()
+        if vec.shape != self._prototype.shape:
+            raise DimensionalityMismatchError(
+                f"query vector shape {vec.shape} does not match prototype shape "
+                f"{self._prototype.shape}"
+            )
+        return float(self._mean_output + self._slope @ (vec - self._prototype))
+
+    def evaluate_query(self, query: Query) -> float:
+        """Evaluate the LLM on a :class:`~repro.queries.query.Query` object."""
+        return self.evaluate(query.to_vector())
+
+    def evaluate_at_own_radius(self, point: np.ndarray) -> float:
+        """Evaluate ``f_k(x, theta_k)`` — the Equation-14 form used for A2.
+
+        Fixing ``theta = theta_k`` removes the radius term, leaving the
+        data-space regression plane of Theorem 3 evaluated at ``x``.
+        """
+        x = np.asarray(point, dtype=float).ravel()
+        if x.shape[0] != self.dimension:
+            raise DimensionalityMismatchError(
+                f"point has dimension {x.shape[0]}, LLM expects {self.dimension}"
+            )
+        return float(self._mean_output + self.center_slope @ (x - self.center))
+
+    def regression_plane(self, weight: float = 1.0) -> RegressionPlane:
+        """Project the LLM onto the data space (Theorem 3).
+
+        The data function is approximated over ``D_k`` by
+        ``u ≈ y_k + b_{X,k} (x - x_k)^T``, i.e. a plane with slope
+        ``b_{X,k}`` and intercept ``y_k - b_{X,k} x_k^T``.
+        """
+        intercept = self._mean_output - float(self.center_slope @ self.center)
+        return RegressionPlane(
+            intercept=intercept,
+            slope=self.center_slope,
+            prototype_center=self.center,
+            prototype_radius=self.radius,
+            weight=weight,
+        )
+
+    def as_query(self, norm_order: float = 2.0) -> Query:
+        """View the prototype as a query (used by the overlap computations)."""
+        return Query(center=self.center, radius=max(self.radius, 1e-12), norm_order=norm_order)
+
+    # ------------------------------------------------------------------ #
+    # in-place parameter updates (used by the SGD rules)
+    # ------------------------------------------------------------------ #
+    def shift_prototype(self, delta: np.ndarray) -> None:
+        """Add ``delta`` to the prototype vector in place."""
+        self._prototype += np.asarray(delta, dtype=float).ravel()
+
+    def shift_slope(self, delta: np.ndarray) -> None:
+        """Add ``delta`` to the slope vector in place."""
+        self._slope += np.asarray(delta, dtype=float).ravel()
+
+    def shift_mean_output(self, delta: float) -> None:
+        """Add ``delta`` to the local intercept in place."""
+        self._mean_output += float(delta)
+
+    @property
+    def difference_second_moment(self) -> float:
+        """Running mean of ``||q - w||^2`` over the winner updates so far."""
+        return self._difference_second_moment
+
+    def update_difference_second_moment(self, squared_norm: float) -> float:
+        """Fold one observed ``||q - w||^2`` into the running mean and return it."""
+        count = self.updates + 1
+        self._difference_second_moment += (
+            float(squared_norm) - self._difference_second_moment
+        ) / count
+        return self._difference_second_moment
+
+    # ------------------------------------------------------------------ #
+    # serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Serialise the LLM parameters to plain Python types."""
+        return {
+            "prototype": self._prototype.tolist(),
+            "mean_output": self._mean_output,
+            "slope": self._slope.tolist(),
+            "updates": self.updates,
+            "difference_second_moment": self._difference_second_moment,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LocalLinearMap":
+        """Rebuild an LLM from :meth:`to_dict` output."""
+        llm = cls(
+            prototype=np.asarray(payload["prototype"], dtype=float),
+            mean_output=float(payload["mean_output"]),
+            slope=np.asarray(payload["slope"], dtype=float),
+        )
+        llm.updates = int(payload.get("updates", 0))
+        llm._difference_second_moment = float(
+            payload.get("difference_second_moment", 0.0)
+        )
+        return llm
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LocalLinearMap(center={np.array2string(self.center, precision=3)}, "
+            f"radius={self.radius:.3g}, y={self._mean_output:.3g}, "
+            f"updates={self.updates})"
+        )
+
+
+@dataclass
+class LocalModelParameters:
+    """The full parameter set ``alpha = {(y_k, b_k, w_k)}`` of a trained model."""
+
+    maps: list[LocalLinearMap] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.maps)
+
+    def __iter__(self):
+        return iter(self.maps)
+
+    def __getitem__(self, index: int) -> LocalLinearMap:
+        return self.maps[index]
+
+    @property
+    def prototype_count(self) -> int:
+        """The number of prototypes ``K``."""
+        return len(self.maps)
+
+    def prototype_matrix(self) -> np.ndarray:
+        """Stack all prototype vectors into a ``(K, d + 1)`` matrix."""
+        if not self.maps:
+            return np.empty((0, 0))
+        return np.vstack([llm.prototype for llm in self.maps])
+
+    def add(self, llm: LocalLinearMap) -> None:
+        """Append a new LLM (used when the quantizer grows)."""
+        if self.maps and llm.dimension != self.maps[0].dimension:
+            raise DimensionalityMismatchError(
+                "all LLMs in a parameter set must share the same dimensionality"
+            )
+        self.maps.append(llm)
+
+    def snapshot(self) -> list[dict]:
+        """Serialise every LLM (used by persistence and convergence tests)."""
+        return [llm.to_dict() for llm in self.maps]

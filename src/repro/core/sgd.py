@@ -1,0 +1,126 @@
+"""Stochastic gradient descent update rules (Theorem 4).
+
+Upon the arrival of a training pair ``(q, y)`` with winning prototype
+``w_j`` (the closest prototype under the Euclidean norm), and provided the
+winner lies within the vigilance radius ``rho`` of the query, the paper's
+Theorem 4 prescribes the updates
+
+* ``Delta w_j  = eta (q - w_j)``                         (prototype move)
+* ``Delta b_j  = eta (y - y_j - b_j (q - w_j)^T)(q - w_j)``  (slope)
+* ``Delta y_j  = eta (y - y_j - b_j (q - w_j)^T)``           (intercept)
+
+with all other prototypes left untouched.  These are exactly the stochastic
+gradient steps of the EQE objective (for ``w_j``) and of the conditional EPE
+objective (for ``y_j`` and ``b_j``).
+
+Implementation note (documented deviation): the raw LMS slope step scales
+with ``||q - w_j||^2``.  On unit-scaled data with radii around 0.1 that
+factor is ~0.01, so the slope would need two orders of magnitude more
+winner updates than the intercept to converge — far more pairs than a
+query workload provides.  Two standard stabilisations are applied while
+keeping the gradient direction of Theorem 4:
+
+* the intercept is updated first and the slope uses the *residual* error
+  after that intercept correction, which removes the large intercept
+  mismatch from the slope gradient during the first updates, and
+* the slope step is normalised by ``m_j + ||q - w_j||^2`` where ``m_j`` is
+  the prototype's running mean of ``||q - w_j||^2`` (a scalar second-moment
+  estimate), which equalises the convergence rates of intercept and slope
+  without the heavy-tailed steps of plain per-sample normalisation.
+
+DESIGN.md records this substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .prototypes import LocalLinearMap
+
+__all__ = ["WinnerUpdate", "apply_winner_update"]
+
+
+@dataclass(frozen=True)
+class WinnerUpdate:
+    """The magnitudes of one winner update (returned for diagnostics/tests)."""
+
+    prototype_shift: float
+    slope_shift: float
+    intercept_shift: float
+    prediction_error: float
+
+    @property
+    def total_change(self) -> float:
+        """Aggregate parameter change caused by this update."""
+        return self.prototype_shift + self.slope_shift + abs(self.intercept_shift)
+
+
+def apply_winner_update(
+    winner: LocalLinearMap,
+    query_vector: np.ndarray,
+    answer: float,
+    learning_rate: float,
+) -> WinnerUpdate:
+    """Apply the Theorem-4 updates to the winning LLM in place.
+
+    Parameters
+    ----------
+    winner:
+        The winning LLM ``f_j`` (modified in place).
+    query_vector:
+        The ``(d + 1)``-dimensional query vector ``q = [x, theta]``.
+    answer:
+        The observed exact answer ``y`` of the query.
+    learning_rate:
+        The step size ``eta`` in ``(0, 1)``.
+
+    Returns
+    -------
+    WinnerUpdate
+        The magnitudes of the applied changes, used by convergence
+        diagnostics and unit tests.
+
+    Notes
+    -----
+    The order of operations matters: the prediction error and the gradient
+    direction ``(q - w_j)`` are computed against the *current* prototype,
+    and then all three parameters are shifted, matching the simultaneous
+    update of Theorem 4.
+    """
+    if not 0.0 < learning_rate <= 1.0:
+        raise ConfigurationError(
+            f"learning rate must be in (0, 1], got {learning_rate}"
+        )
+    q = np.asarray(query_vector, dtype=float).ravel()
+    difference = q - winner.prototype
+    prediction_error = float(answer - winner.mean_output - winner.slope @ difference)
+
+    prototype_delta = learning_rate * difference
+    intercept_delta = learning_rate * prediction_error
+
+    # Slope step (see the module docstring): residual error after the
+    # intercept correction, normalised by the running second moment of the
+    # query-prototype differences.
+    squared_norm = float(difference @ difference)
+    second_moment = winner.update_difference_second_moment(squared_norm)
+    residual_error = prediction_error - intercept_delta
+    denominator = second_moment + squared_norm
+    if denominator > 0.0:
+        slope_delta = learning_rate * residual_error * difference / denominator
+    else:
+        slope_delta = np.zeros_like(difference)
+
+    winner.shift_prototype(prototype_delta)
+    winner.shift_slope(slope_delta)
+    winner.shift_mean_output(intercept_delta)
+    winner.updates += 1
+
+    return WinnerUpdate(
+        prototype_shift=float(np.linalg.norm(prototype_delta)),
+        slope_shift=float(np.linalg.norm(slope_delta)),
+        intercept_shift=float(intercept_delta),
+        prediction_error=prediction_error,
+    )

@@ -1,0 +1,107 @@
+"""Feature scaling utilities.
+
+The paper scales every real-valued attribute of the real dataset R1 to
+``[0, 1]`` before evaluation.  :class:`MinMaxScaler` implements the standard
+min-max transform with an explicit inverse, and :func:`scale_to_unit_cube`
+is a one-shot convenience for arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DimensionalityMismatchError, NotFittedError
+
+__all__ = ["MinMaxScaler", "scale_to_unit_cube"]
+
+
+@dataclass
+class MinMaxScaler:
+    """Per-column min-max scaler mapping data into ``[low, high]``.
+
+    Columns that are constant in the fitted data are mapped to the midpoint
+    of the target interval to avoid division by zero.
+    """
+
+    feature_low: float = 0.0
+    feature_high: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.feature_low >= self.feature_high:
+            raise ValueError(
+                "feature_low must be strictly less than feature_high, got "
+                f"[{self.feature_low}, {self.feature_high}]"
+            )
+        self._data_min: np.ndarray | None = None
+        self._data_max: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._data_min is not None
+
+    @property
+    def data_min(self) -> np.ndarray:
+        self._require_fitted()
+        assert self._data_min is not None
+        return self._data_min
+
+    @property
+    def data_max(self) -> np.ndarray:
+        self._require_fitted()
+        assert self._data_max is not None
+        return self._data_max
+
+    def fit(self, data: np.ndarray) -> "MinMaxScaler":
+        """Record per-column minima and maxima of a 2-D array."""
+        arr = np.atleast_2d(np.asarray(data, dtype=float))
+        self._data_min = arr.min(axis=0)
+        self._data_max = arr.max(axis=0)
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Map data into the target interval using the fitted statistics."""
+        self._require_fitted()
+        arr = np.atleast_2d(np.asarray(data, dtype=float))
+        if arr.shape[1] != self.data_min.shape[0]:
+            raise DimensionalityMismatchError(
+                f"scaler was fitted on {self.data_min.shape[0]} columns but "
+                f"received {arr.shape[1]}"
+            )
+        span = self.data_max - self.data_min
+        width = self.feature_high - self.feature_low
+        scaled = np.empty_like(arr)
+        constant = span == 0
+        safe_span = np.where(constant, 1.0, span)
+        scaled = (arr - self.data_min) / safe_span * width + self.feature_low
+        midpoint = (self.feature_low + self.feature_high) / 2.0
+        scaled[:, constant] = midpoint
+        return scaled
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit on ``data`` and immediately transform it."""
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        """Map scaled data back to the original units."""
+        self._require_fitted()
+        arr = np.atleast_2d(np.asarray(data, dtype=float))
+        if arr.shape[1] != self.data_min.shape[0]:
+            raise DimensionalityMismatchError(
+                f"scaler was fitted on {self.data_min.shape[0]} columns but "
+                f"received {arr.shape[1]}"
+            )
+        span = self.data_max - self.data_min
+        width = self.feature_high - self.feature_low
+        return (arr - self.feature_low) / width * span + self.data_min
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise NotFittedError("MinMaxScaler must be fitted before use")
+
+
+def scale_to_unit_cube(data: np.ndarray) -> tuple[np.ndarray, MinMaxScaler]:
+    """Scale a 2-D array into ``[0, 1]`` per column and return the scaler."""
+    scaler = MinMaxScaler()
+    return scaler.fit_transform(data), scaler

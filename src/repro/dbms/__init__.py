@@ -1,0 +1,38 @@
+"""In-DBMS substrate.
+
+The paper's system context (Figure 2) places the learning model in front of
+an RDBMS that actually stores the data and executes exact Q1/Q2 queries
+during the training phase.  This subpackage provides that substrate:
+
+* :class:`~repro.dbms.storage.SQLiteDataStore` — SQLite-backed persistent
+  storage of datasets with a catalog of registered tables,
+* :class:`~repro.dbms.spatial_index.GridIndex` — a uniform-grid spatial
+  index used by the exact executor to prune the dNN selection (the role
+  played by the B-tree index in the paper's PostgreSQL setup),
+* :class:`~repro.dbms.executor.ExactQueryEngine` — the exact executor of
+  Q1 (mean value) and Q2 (in-subspace OLS regression),
+* :class:`~repro.dbms.sqlfront.AnalyticsSession` — a small declarative SQL
+  front end implementing the Q1/Q2 syntax sketched in the paper's appendix.
+"""
+
+from .schema import ColumnSpec, TableSchema, schema_for_dataset
+from .catalog import Catalog, TableInfo
+from .storage import SQLiteDataStore
+from .spatial_index import GridIndex
+from .executor import ExactQueryEngine, ExecutionStatistics
+from .sqlfront import AnalyticsSession, ParsedStatement, parse_statement
+
+__all__ = [
+    "ColumnSpec",
+    "TableSchema",
+    "schema_for_dataset",
+    "Catalog",
+    "TableInfo",
+    "SQLiteDataStore",
+    "GridIndex",
+    "ExactQueryEngine",
+    "ExecutionStatistics",
+    "AnalyticsSession",
+    "ParsedStatement",
+    "parse_statement",
+]

@@ -1,0 +1,139 @@
+"""Catalog of datasets registered in a data store.
+
+The catalog is a small metadata table living next to the data tables.  It
+records, per registered dataset, the table name, the input dimensionality,
+the row count and free-form JSON metadata, so that sessions can reopen a
+store and rediscover what it contains without re-scanning the data tables.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass
+
+from ..exceptions import CatalogError
+from .schema import TableSchema, schema_for_dataset
+
+__all__ = ["TableInfo", "Catalog"]
+
+_CATALOG_TABLE = "repro_catalog"
+
+
+@dataclass(frozen=True)
+class TableInfo:
+    """Metadata describing one registered dataset table."""
+
+    table_name: str
+    dimension: int
+    row_count: int
+    metadata: dict
+
+    @property
+    def schema(self) -> TableSchema:
+        """Reconstruct the standard schema of the table."""
+        return schema_for_dataset(self.table_name, self.dimension)
+
+
+class Catalog:
+    """Metadata catalog persisted in the same SQLite database as the data."""
+
+    def __init__(self, connection: sqlite3.Connection) -> None:
+        self._connection = connection
+        self._ensure_catalog_table()
+
+    def _ensure_catalog_table(self) -> None:
+        self._connection.execute(
+            f"""
+            CREATE TABLE IF NOT EXISTS {_CATALOG_TABLE} (
+                table_name TEXT PRIMARY KEY,
+                dimension INTEGER NOT NULL,
+                row_count INTEGER NOT NULL,
+                metadata TEXT NOT NULL
+            )
+            """
+        )
+        self._connection.commit()
+
+    def register(
+        self,
+        table_name: str,
+        dimension: int,
+        row_count: int,
+        metadata: dict | None = None,
+    ) -> TableInfo:
+        """Register a table, failing if the name is already taken."""
+        if self.exists(table_name):
+            raise CatalogError(f"table {table_name!r} is already registered")
+        info = TableInfo(
+            table_name=table_name,
+            dimension=dimension,
+            row_count=row_count,
+            metadata=dict(metadata or {}),
+        )
+        self._connection.execute(
+            f"INSERT INTO {_CATALOG_TABLE} (table_name, dimension, row_count, metadata) "
+            "VALUES (?, ?, ?, ?)",
+            (info.table_name, info.dimension, info.row_count, json.dumps(info.metadata)),
+        )
+        self._connection.commit()
+        return info
+
+    def update_row_count(self, table_name: str, row_count: int) -> None:
+        """Update the recorded row count after appending rows."""
+        if not self.exists(table_name):
+            raise CatalogError(f"table {table_name!r} is not registered")
+        self._connection.execute(
+            f"UPDATE {_CATALOG_TABLE} SET row_count = ? WHERE table_name = ?",
+            (row_count, table_name),
+        )
+        self._connection.commit()
+
+    def unregister(self, table_name: str) -> None:
+        """Remove a table's catalog entry."""
+        if not self.exists(table_name):
+            raise CatalogError(f"table {table_name!r} is not registered")
+        self._connection.execute(
+            f"DELETE FROM {_CATALOG_TABLE} WHERE table_name = ?", (table_name,)
+        )
+        self._connection.commit()
+
+    def exists(self, table_name: str) -> bool:
+        """Return whether a table name is registered."""
+        cursor = self._connection.execute(
+            f"SELECT 1 FROM {_CATALOG_TABLE} WHERE table_name = ?", (table_name,)
+        )
+        return cursor.fetchone() is not None
+
+    def get(self, table_name: str) -> TableInfo:
+        """Return the catalog entry of a registered table."""
+        cursor = self._connection.execute(
+            f"SELECT table_name, dimension, row_count, metadata FROM {_CATALOG_TABLE} "
+            "WHERE table_name = ?",
+            (table_name,),
+        )
+        row = cursor.fetchone()
+        if row is None:
+            raise CatalogError(f"table {table_name!r} is not registered")
+        return TableInfo(
+            table_name=row[0],
+            dimension=int(row[1]),
+            row_count=int(row[2]),
+            metadata=json.loads(row[3]),
+        )
+
+    def list_tables(self) -> list[TableInfo]:
+        """Return all catalog entries, sorted by table name."""
+        cursor = self._connection.execute(
+            f"SELECT table_name, dimension, row_count, metadata FROM {_CATALOG_TABLE} "
+            "ORDER BY table_name"
+        )
+        return [
+            TableInfo(
+                table_name=row[0],
+                dimension=int(row[1]),
+                row_count=int(row[2]),
+                metadata=json.loads(row[3]),
+            )
+            for row in cursor.fetchall()
+        ]

@@ -1,0 +1,179 @@
+"""Exact Q1/Q2 query execution over the DBMS substrate.
+
+:class:`ExactQueryEngine` is the "ground truth" side of the system context
+(Figure 2): it evaluates the dNN selection over the stored data and then
+computes the exact mean value (Q1) or fits the exact multivariate OLS
+regression over the selected subspace (Q2 / REG).  It also records
+execution statistics (rows scanned, rows selected, wall-clock time) which
+the scalability experiment (Figure 12) reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.ols import OLSRegressor
+from ..data.synthetic import SyntheticDataset
+from ..exceptions import EmptySubspaceError, StorageError
+from ..queries.geometry import pairwise_lp_distance
+from ..queries.query import Query, QueryAnswer
+from .spatial_index import GridIndex
+from .storage import SQLiteDataStore
+
+__all__ = ["ExactQueryEngine", "ExecutionStatistics"]
+
+
+@dataclass
+class ExecutionStatistics:
+    """Cumulative execution statistics of an exact engine."""
+
+    queries_executed: int = 0
+    rows_scanned: int = 0
+    rows_selected: int = 0
+    total_seconds: float = 0.0
+    per_query_seconds: list[float] = field(default_factory=list)
+
+    def record(self, scanned: int, selected: int, seconds: float) -> None:
+        """Add one query's counters."""
+        self.queries_executed += 1
+        self.rows_scanned += scanned
+        self.rows_selected += selected
+        self.total_seconds += seconds
+        self.per_query_seconds.append(seconds)
+
+    @property
+    def mean_seconds(self) -> float:
+        """Average per-query execution time in seconds (0 when unused)."""
+        if not self.per_query_seconds:
+            return 0.0
+        return float(np.mean(self.per_query_seconds))
+
+    def reset(self) -> None:
+        """Clear all counters."""
+        self.queries_executed = 0
+        self.rows_scanned = 0
+        self.rows_selected = 0
+        self.total_seconds = 0.0
+        self.per_query_seconds = []
+
+
+class ExactQueryEngine:
+    """Execute exact Q1 and Q2 queries against a dataset.
+
+    The engine can operate in three modes, in decreasing order of typical
+    speed for selective queries:
+
+    * against an in-memory grid index (``use_index=True``, default),
+    * against in-memory arrays with a full per-query distance scan
+      (``use_index=False``),
+    * directly against a :class:`~repro.dbms.storage.SQLiteDataStore`
+      table using a bounding-box pushdown (``from_store``).
+    """
+
+    def __init__(
+        self,
+        dataset: SyntheticDataset,
+        *,
+        use_index: bool = True,
+        cells_per_dimension: int | None = None,
+    ) -> None:
+        self._dataset = dataset
+        self._inputs = dataset.inputs
+        self._outputs = dataset.outputs
+        self._index: GridIndex | None = None
+        if use_index:
+            self._index = GridIndex(self._inputs, cells_per_dimension=cells_per_dimension)
+        self.statistics = ExecutionStatistics()
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_store(
+        cls, store: SQLiteDataStore, table_name: str, *, use_index: bool = True
+    ) -> "ExactQueryEngine":
+        """Build an engine over a table stored in a SQLite data store."""
+        dataset = store.load_as_dataset(table_name)
+        return cls(dataset, use_index=use_index)
+
+    @property
+    def dataset(self) -> SyntheticDataset:
+        return self._dataset
+
+    @property
+    def dimension(self) -> int:
+        return self._dataset.dimension
+
+    @property
+    def size(self) -> int:
+        return self._dataset.size
+
+    # ------------------------------------------------------------------ #
+    # selection
+    # ------------------------------------------------------------------ #
+    def select_subspace(self, query: Query) -> tuple[np.ndarray, np.ndarray]:
+        """Return the ``(inputs, outputs)`` of the rows inside ``D(x, theta)``."""
+        if query.dimension != self.dimension:
+            raise StorageError(
+                f"query has dimension {query.dimension} but the dataset has "
+                f"{self.dimension}"
+            )
+        start = time.perf_counter()
+        if self._index is not None:
+            candidate_rows = self._index.candidate_rows(query.center, query.radius)
+            scanned = int(candidate_rows.size)
+            if candidate_rows.size:
+                distances = pairwise_lp_distance(
+                    self._inputs[candidate_rows], query.center, p=query.norm_order
+                )
+                selected_rows = candidate_rows[distances <= query.radius]
+            else:
+                selected_rows = candidate_rows
+        else:
+            scanned = self.size
+            distances = pairwise_lp_distance(
+                self._inputs, query.center, p=query.norm_order
+            )
+            selected_rows = np.nonzero(distances <= query.radius)[0]
+        elapsed = time.perf_counter() - start
+        self.statistics.record(scanned, int(selected_rows.size), elapsed)
+        return self._inputs[selected_rows], self._outputs[selected_rows]
+
+    def cardinality(self, query: Query) -> int:
+        """Return ``n_theta(x)``: the number of rows inside the subspace."""
+        inputs, _ = self.select_subspace(query)
+        return int(inputs.shape[0])
+
+    # ------------------------------------------------------------------ #
+    # exact answers
+    # ------------------------------------------------------------------ #
+    def execute_q1(self, query: Query) -> QueryAnswer:
+        """Execute an exact mean-value query (Definition 4)."""
+        _, outputs = self.select_subspace(query)
+        if outputs.size == 0:
+            raise EmptySubspaceError(
+                f"query {query!r} selected no rows; its Q1 answer is undefined"
+            )
+        return QueryAnswer(mean=float(np.mean(outputs)), cardinality=int(outputs.size))
+
+    def execute_q2(self, query: Query) -> QueryAnswer:
+        """Execute an exact regression query: OLS over the selected subspace."""
+        inputs, outputs = self.select_subspace(query)
+        if outputs.size == 0:
+            raise EmptySubspaceError(
+                f"query {query!r} selected no rows; its Q2 answer is undefined"
+            )
+        regressor = OLSRegressor().fit(inputs, outputs)
+        return QueryAnswer(
+            mean=float(np.mean(outputs)),
+            cardinality=int(outputs.size),
+            coefficients=regressor.coefficients,
+            r_squared=regressor.r_squared(inputs, outputs),
+        )
+
+    def mean_value(self, query: Query) -> float:
+        """Convenience oracle used by training streams: the Q1 scalar answer."""
+        return self.execute_q1(query).mean

@@ -1,0 +1,200 @@
+"""Declarative SQL-style front end for Q1 and Q2 analytics queries.
+
+The paper notes (Appendix IV) that Q1 and Q2 have a natural SQL surface
+syntax in in-DBMS analytics products.  This module implements a small
+dialect over the library's data stores so that examples and downstream
+users can express analytics queries declaratively:
+
+.. code-block:: sql
+
+    -- Q1: mean-value query over a dNN subspace
+    SELECT AVG(u) FROM sensors WITHIN 0.1 OF (0.3, 0.5);
+
+    -- Q2: regression query over a dNN subspace
+    SELECT REGRESSION(u) FROM sensors WITHIN 0.1 OF (0.3, 0.5);
+
+    -- count of the selected subspace
+    SELECT COUNT(*) FROM sensors WITHIN 0.1 OF (0.3, 0.5);
+
+A session can run statements in *exact* mode (against the
+:class:`~repro.dbms.executor.ExactQueryEngine`) or *approximate* mode
+(against a trained :class:`~repro.core.model.LLMModel`), mirroring the
+system context of Figure 2 where the model answers queries after training
+without touching the data.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from ..exceptions import SQLSyntaxError
+from ..queries.query import Query
+from .executor import ExactQueryEngine
+
+__all__ = ["ParsedStatement", "parse_statement", "AnalyticsSession"]
+
+_STATEMENT_RE = re.compile(
+    r"""
+    ^\s*SELECT\s+
+    (?P<projection>AVG\(\s*u\s*\)|REGRESSION\(\s*u\s*\)|COUNT\(\s*\*\s*\))
+    \s+FROM\s+(?P<table>[A-Za-z_][A-Za-z0-9_]*)
+    \s+WITHIN\s+(?P<radius>[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)
+    \s+OF\s*\(\s*(?P<center>[^)]*)\s*\)
+    \s*;?\s*$
+    """,
+    re.IGNORECASE | re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class ParsedStatement:
+    """Structured representation of one analytics statement."""
+
+    kind: Literal["q1", "q2", "count"]
+    table: str
+    center: tuple[float, ...]
+    radius: float
+
+    def to_query(self, norm_order: float = 2.0) -> Query:
+        """Build the library's query object from the parsed statement."""
+        return Query(
+            center=np.asarray(self.center, dtype=float),
+            radius=self.radius,
+            norm_order=norm_order,
+        )
+
+
+def parse_statement(sql: str) -> ParsedStatement:
+    """Parse one statement of the analytics dialect.
+
+    Raises
+    ------
+    SQLSyntaxError
+        If the statement does not match the dialect grammar or has an
+        invalid center/radius.
+    """
+    match = _STATEMENT_RE.match(sql)
+    if match is None:
+        raise SQLSyntaxError(
+            "statement does not match 'SELECT AVG(u)|REGRESSION(u)|COUNT(*) "
+            f"FROM <table> WITHIN <radius> OF (<center>)': {sql!r}"
+        )
+    projection = match.group("projection").upper().replace(" ", "")
+    if projection.startswith("AVG"):
+        kind: Literal["q1", "q2", "count"] = "q1"
+    elif projection.startswith("REGRESSION"):
+        kind = "q2"
+    else:
+        kind = "count"
+    center_text = match.group("center").strip()
+    if not center_text:
+        raise SQLSyntaxError("the query center cannot be empty")
+    try:
+        center = tuple(float(part) for part in center_text.split(","))
+    except ValueError as exc:
+        raise SQLSyntaxError(f"invalid center coordinates: {center_text!r}") from exc
+    radius = float(match.group("radius"))
+    if radius <= 0:
+        raise SQLSyntaxError(f"radius must be positive, got {radius}")
+    return ParsedStatement(
+        kind=kind, table=match.group("table"), center=center, radius=radius
+    )
+
+
+class AnalyticsSession:
+    """Execute analytics statements against exact engines and/or trained models.
+
+    Parameters
+    ----------
+    engines:
+        Mapping of table name to exact engine; used by exact execution and
+        as a fallback for count statements.
+    models:
+        Mapping of table name to trained LLM model (``predict_mean`` /
+        ``regression_models`` interface); used by approximate execution.
+    """
+
+    def __init__(
+        self,
+        engines: dict[str, ExactQueryEngine] | None = None,
+        models: dict[str, object] | None = None,
+    ) -> None:
+        self._engines: dict[str, ExactQueryEngine] = dict(engines or {})
+        self._models: dict[str, object] = dict(models or {})
+
+    def register_engine(self, table: str, engine: ExactQueryEngine) -> None:
+        """Attach an exact engine under a table name."""
+        self._engines[table] = engine
+
+    def register_model(self, table: str, model: object) -> None:
+        """Attach a trained approximate model under a table name."""
+        self._models[table] = model
+
+    @property
+    def tables(self) -> list[str]:
+        """All table names known to the session."""
+        return sorted(set(self._engines) | set(self._models))
+
+    def execute(self, sql: str, *, mode: Literal["exact", "approximate"] = "exact"):
+        """Parse and run one statement.
+
+        Returns
+        -------
+        float | int | list
+            * Q1 returns the (exact or predicted) mean value,
+            * Q2 returns a list of ``(intercept, slope)`` pairs — a single
+              pair in exact mode (REG over the subspace), possibly several
+              in approximate mode (the local linear models),
+            * COUNT returns the subspace cardinality (exact mode only).
+        """
+        statement = parse_statement(sql)
+        if mode == "exact":
+            return self._execute_exact(statement)
+        if mode == "approximate":
+            return self._execute_approximate(statement)
+        raise SQLSyntaxError(f"unknown execution mode {mode!r}")
+
+    # ------------------------------------------------------------------ #
+    # execution paths
+    # ------------------------------------------------------------------ #
+    def _engine_for(self, table: str) -> ExactQueryEngine:
+        try:
+            return self._engines[table]
+        except KeyError as exc:
+            raise SQLSyntaxError(f"no exact engine registered for table {table!r}") from exc
+
+    def _model_for(self, table: str):
+        try:
+            return self._models[table]
+        except KeyError as exc:
+            raise SQLSyntaxError(f"no trained model registered for table {table!r}") from exc
+
+    def _execute_exact(self, statement: ParsedStatement):
+        engine = self._engine_for(statement.table)
+        query = statement.to_query()
+        if statement.kind == "q1":
+            return engine.execute_q1(query).mean
+        if statement.kind == "count":
+            return engine.cardinality(query)
+        answer = engine.execute_q2(query)
+        assert answer.coefficients is not None
+        intercept = float(answer.coefficients[0])
+        slope = np.asarray(answer.coefficients[1:], dtype=float)
+        return [(intercept, slope)]
+
+    def _execute_approximate(self, statement: ParsedStatement):
+        model = self._model_for(statement.table)
+        query = statement.to_query()
+        if statement.kind == "q1":
+            return float(model.predict_mean(query))  # type: ignore[attr-defined]
+        if statement.kind == "count":
+            raise SQLSyntaxError(
+                "COUNT(*) requires exact execution; the approximate model does "
+                "not estimate cardinalities"
+            )
+        models = model.regression_models(query)  # type: ignore[attr-defined]
+        return [(m.intercept, m.slope) for m in models]

@@ -1,0 +1,63 @@
+"""Wall-clock timing helpers for the scalability experiments."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable
+
+import numpy as np
+
+__all__ = ["Stopwatch", "measure_mean_latency"]
+
+
+class Stopwatch:
+    """A tiny context-manager stopwatch measuring elapsed seconds.
+
+    Examples
+    --------
+    >>> with Stopwatch() as watch:
+    ...     _ = sum(range(1000))
+    >>> watch.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+
+def measure_mean_latency(
+    operation: Callable[[object], object],
+    items: Iterable[object],
+    *,
+    repetitions: int = 1,
+) -> dict[str, float]:
+    """Measure the mean per-item latency of an operation over a set of items.
+
+    Returns a dict with mean, median, total seconds and the item count, all
+    in milliseconds where applicable (matching the figures' axes).
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    materialised = list(items)
+    latencies: list[float] = []
+    for _ in range(repetitions):
+        for item in materialised:
+            started = time.perf_counter()
+            operation(item)
+            latencies.append(time.perf_counter() - started)
+    latencies_ms = np.asarray(latencies) * 1000.0
+    return {
+        "mean_ms": float(np.mean(latencies_ms)),
+        "median_ms": float(np.median(latencies_ms)),
+        "total_seconds": float(np.sum(latencies_ms) / 1000.0),
+        "count": float(latencies_ms.size),
+    }

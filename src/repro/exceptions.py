@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch a single base class.  More specific subclasses are raised by the
+individual subsystems (query model, DBMS substrate, core model, baselines).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class InvalidQueryError(ReproError):
+    """A query is malformed (e.g. non-positive radius or wrong dimension)."""
+
+
+class DimensionalityMismatchError(ReproError):
+    """Two objects that must share a dimensionality do not."""
+
+
+class NotFittedError(ReproError):
+    """A model method that requires training was called before fitting."""
+
+
+class EmptySubspaceError(ReproError):
+    """An exact query selected no rows, so its answer is undefined."""
+
+
+class StorageError(ReproError):
+    """A failure in the SQLite-backed storage substrate."""
+
+
+class CatalogError(StorageError):
+    """A dataset/table name is unknown to, or conflicts with, the catalog."""
+
+
+class SQLSyntaxError(ReproError):
+    """The analytics SQL front end could not parse a statement."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is out of its valid range."""
+
+
+class ConvergenceError(ReproError):
+    """Training failed to converge within the allowed number of steps."""
+
+
+class WorkloadError(ReproError):
+    """A query workload generator was given inconsistent parameters."""

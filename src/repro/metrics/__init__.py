@@ -1,0 +1,42 @@
+"""Accuracy and goodness-of-fit metrics used by the evaluation.
+
+* predictability metrics: RMSE of the Q1 answer (A1) and of the predicted
+  data values (A2),
+* goodness-of-fit metrics: sum of squared residuals, total sum of squares,
+  fraction of variance unexplained (FVU) and coefficient of determination
+  (CoD / R²).
+"""
+
+from .regression import (
+    coefficient_of_determination,
+    cod,
+    fraction_of_variance_unexplained,
+    fvu,
+    mean_absolute_error,
+    rmse,
+    sum_of_squared_residuals,
+    total_sum_of_squares,
+)
+from .evaluation import (
+    QueryAccuracyReport,
+    SubspaceFitReport,
+    evaluate_q1_accuracy,
+    evaluate_q2_goodness_of_fit,
+    evaluate_value_prediction,
+)
+
+__all__ = [
+    "rmse",
+    "mean_absolute_error",
+    "sum_of_squared_residuals",
+    "total_sum_of_squares",
+    "fraction_of_variance_unexplained",
+    "fvu",
+    "coefficient_of_determination",
+    "cod",
+    "QueryAccuracyReport",
+    "SubspaceFitReport",
+    "evaluate_q1_accuracy",
+    "evaluate_q2_goodness_of_fit",
+    "evaluate_value_prediction",
+]

@@ -1,0 +1,97 @@
+"""Scalar regression metrics.
+
+All functions accept array-likes, validate that actual and predicted values
+have matching lengths and return plain floats.  Definitions follow Section
+VI of the paper:
+
+* ``RMSE = sqrt(mean((y - y_hat)^2))``
+* ``SSR  = sum((u - u_hat)^2)``
+* ``TSS  = sum((u - mean(u))^2)``
+* ``FVU  = SSR / TSS``
+* ``CoD (R^2) = 1 - FVU``
+
+FVU above one means the approximation is worse than predicting the plain
+mean; values well below one indicate a good fit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DimensionalityMismatchError
+
+__all__ = [
+    "rmse",
+    "mean_absolute_error",
+    "sum_of_squared_residuals",
+    "total_sum_of_squares",
+    "fraction_of_variance_unexplained",
+    "fvu",
+    "coefficient_of_determination",
+    "cod",
+]
+
+
+def _validate(actual: np.ndarray, predicted: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(actual, dtype=float).ravel()
+    p = np.asarray(predicted, dtype=float).ravel()
+    if a.shape[0] != p.shape[0]:
+        raise DimensionalityMismatchError(
+            f"actual has {a.shape[0]} values but predicted has {p.shape[0]}"
+        )
+    if a.shape[0] == 0:
+        raise DimensionalityMismatchError("metrics need at least one value")
+    return a, p
+
+
+def rmse(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Root mean squared error (the paper's A1/A2 predictability metric)."""
+    a, p = _validate(actual, predicted)
+    return float(np.sqrt(np.mean((a - p) ** 2)))
+
+
+def mean_absolute_error(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean absolute error (extra diagnostic, not used by the paper's figures)."""
+    a, p = _validate(actual, predicted)
+    return float(np.mean(np.abs(a - p)))
+
+
+def sum_of_squared_residuals(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """SSR: the un-normalised squared error of an approximation."""
+    a, p = _validate(actual, predicted)
+    return float(np.sum((a - p) ** 2))
+
+
+def total_sum_of_squares(actual: np.ndarray) -> float:
+    """TSS: squared deviation of the actual values around their mean."""
+    a = np.asarray(actual, dtype=float).ravel()
+    if a.shape[0] == 0:
+        raise DimensionalityMismatchError("metrics need at least one value")
+    return float(np.sum((a - np.mean(a)) ** 2))
+
+
+def fraction_of_variance_unexplained(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """FVU = SSR / TSS.
+
+    When the actual values have no variance the FVU is defined as 0 for a
+    perfect approximation and infinity otherwise.
+    """
+    a, p = _validate(actual, predicted)
+    ssr = sum_of_squared_residuals(a, p)
+    tss = total_sum_of_squares(a)
+    if tss == 0.0:
+        return 0.0 if np.isclose(ssr, 0.0) else float("inf")
+    return ssr / tss
+
+
+def coefficient_of_determination(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """CoD / R² = 1 - FVU.  Negative values signal a fit worse than the mean."""
+    value = fraction_of_variance_unexplained(actual, predicted)
+    if np.isinf(value):
+        return float("-inf")
+    return 1.0 - value
+
+
+#: Short aliases matching the paper's notation.
+fvu = fraction_of_variance_unexplained
+cod = coefficient_of_determination

@@ -1,0 +1,84 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are session-scoped where the underlying objects are immutable
+(datasets, engines, trained models) so the suite stays fast; tests that need
+to mutate state build their own instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ExactQueryEngine,
+    LLMModel,
+    LabelledWorkload,
+    ModelConfig,
+    Query,
+    QueryWorkloadGenerator,
+    RadiusDistribution,
+    TrainingConfig,
+    WorkloadSpec,
+    generate_gas_sensor_dataset,
+    make_function_dataset,
+    make_rosenbrock_dataset,
+)
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_sensor_dataset():
+    """A small 2-D gas-sensor surrogate dataset used across tests."""
+    return generate_gas_sensor_dataset(4_000, dimension=2, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_rosenbrock_dataset():
+    """A small raw (unnormalised) Rosenbrock dataset."""
+    return make_rosenbrock_dataset(3_000, dimension=2, seed=5)
+
+
+@pytest.fixture(scope="session")
+def saddle_dataset():
+    """Example-2 style dataset: u = x1 (x2 + 1) over [-1.5, 1.5]^2."""
+    return make_function_dataset("product_saddle", 3_000, dimension=2, seed=9)
+
+
+@pytest.fixture(scope="session")
+def sensor_engine(small_sensor_dataset):
+    return ExactQueryEngine(small_sensor_dataset)
+
+
+@pytest.fixture(scope="session")
+def sensor_workload(sensor_engine):
+    """A labelled workload of 600 queries over the sensor dataset."""
+    spec = WorkloadSpec(
+        dimension=2,
+        center_low=0.0,
+        center_high=1.0,
+        radius=RadiusDistribution(mean=0.12, std=0.03),
+    )
+    queries = QueryWorkloadGenerator(spec, seed=3).generate(600)
+    return LabelledWorkload.from_queries(queries, sensor_engine.mean_value)
+
+
+@pytest.fixture(scope="session")
+def trained_model(sensor_workload):
+    """A model trained on the sensor workload with a fine quantization."""
+    model = LLMModel(
+        dimension=2,
+        config=ModelConfig(quantization_coefficient=0.08),
+        training=TrainingConfig(convergence_threshold=1e-4),
+    )
+    model.fit(sensor_workload)
+    return model
+
+
+@pytest.fixture()
+def unit_query() -> Query:
+    return Query(center=np.array([0.5, 0.5]), radius=0.15)

@@ -1,0 +1,79 @@
+"""Tests for the sampling-based baseline wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.ols import OLSRegressor
+from repro.baselines.plr import MARSRegressor
+from repro.baselines.sampling import SamplingRegressor
+from repro.exceptions import ConfigurationError, EmptySubspaceError
+
+
+@pytest.fixture(scope="module")
+def linear_data():
+    rng = np.random.default_rng(0)
+    x = rng.uniform(0, 1, size=(5_000, 2))
+    u = 1.0 + 2.0 * x[:, 0] - x[:, 1] + rng.normal(0, 0.05, 5_000)
+    return x, u
+
+
+class TestSamplingRegressor:
+    def test_reg_kind_wraps_ols(self, linear_data):
+        x, u = linear_data
+        model = SamplingRegressor(kind="reg", sample_fraction=0.05, seed=0).fit(x, u)
+        assert isinstance(model.model, OLSRegressor)
+        assert model.sampled_rows == 250
+
+    def test_plr_kind_wraps_mars(self, linear_data):
+        x, u = linear_data
+        model = SamplingRegressor(
+            kind="plr", sample_fraction=0.02, seed=0, plr_max_basis_functions=4
+        ).fit(x, u)
+        assert isinstance(model.model, MARSRegressor)
+
+    def test_minimum_rows_enforced(self, linear_data):
+        x, u = linear_data
+        model = SamplingRegressor(sample_fraction=0.0001, min_rows=64, seed=0).fit(x, u)
+        assert model.sampled_rows == 64
+
+    def test_sample_never_exceeds_available_rows(self):
+        x = np.random.default_rng(1).uniform(size=(10, 1))
+        u = x.ravel()
+        model = SamplingRegressor(sample_fraction=1.0, min_rows=64, seed=0).fit(x, u)
+        assert model.sampled_rows == 10
+
+    def test_sampled_fit_close_to_full_fit_on_linear_data(self, linear_data):
+        x, u = linear_data
+        sampled = SamplingRegressor(kind="reg", sample_fraction=0.05, seed=0).fit(x, u)
+        full = OLSRegressor().fit(x, u)
+        assert np.allclose(sampled.model.coefficients, full.coefficients, atol=0.05)
+        assert sampled.r_squared(x, u) > 0.95
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(EmptySubspaceError):
+            SamplingRegressor().predict(np.ones((1, 2)))
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(EmptySubspaceError):
+            SamplingRegressor().fit(np.empty((0, 2)), np.empty(0))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "unknown"},
+            {"sample_fraction": 0.0},
+            {"sample_fraction": 1.5},
+            {"min_rows": 0},
+        ],
+    )
+    def test_rejects_bad_configuration(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SamplingRegressor(**kwargs)
+
+    def test_seed_reproducibility(self, linear_data):
+        x, u = linear_data
+        first = SamplingRegressor(sample_fraction=0.01, seed=7).fit(x, u)
+        second = SamplingRegressor(sample_fraction=0.01, seed=7).fit(x, u)
+        assert np.allclose(first.model.coefficients, second.model.coefficients)

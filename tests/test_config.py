@@ -1,0 +1,109 @@
+"""Tests for the configuration dataclasses and the vigilance formula."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.config import (
+    DEFAULT_CONVERGENCE_THRESHOLD,
+    DEFAULT_QUANTIZATION_COEFFICIENT,
+    ModelConfig,
+    TrainingConfig,
+    vigilance_radius,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestVigilanceRadius:
+    def test_matches_paper_formula(self):
+        # rho = a (sqrt(d) + 1)
+        assert vigilance_radius(0.25, 4) == pytest.approx(0.25 * 3.0)
+
+    def test_unit_coefficient_and_dimension(self):
+        assert vigilance_radius(1.0, 1) == pytest.approx(2.0)
+
+    def test_scales_linearly_with_coefficient(self):
+        assert vigilance_radius(0.5, 9) == pytest.approx(2 * vigilance_radius(0.25, 9))
+
+    def test_grows_with_dimension(self):
+        assert vigilance_radius(0.3, 10) > vigilance_radius(0.3, 2)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5])
+    def test_rejects_bad_coefficient(self, bad):
+        with pytest.raises(ConfigurationError):
+            vigilance_radius(bad, 3)
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ConfigurationError):
+            vigilance_radius(0.5, 0)
+
+
+class TestModelConfig:
+    def test_defaults(self):
+        config = ModelConfig()
+        assert config.quantization_coefficient == DEFAULT_QUANTIZATION_COEFFICIENT
+        assert config.norm_order == 2.0
+        assert config.vigilance_override is None
+
+    def test_vigilance_uses_formula(self):
+        config = ModelConfig(quantization_coefficient=0.2)
+        assert config.vigilance(4) == pytest.approx(0.2 * (math.sqrt(4) + 1))
+
+    def test_vigilance_override_wins(self):
+        config = ModelConfig(quantization_coefficient=0.2, vigilance_override=0.7)
+        assert config.vigilance(4) == pytest.approx(0.7)
+
+    def test_with_coefficient_returns_new_config(self):
+        config = ModelConfig(quantization_coefficient=0.2, vigilance_override=0.7)
+        updated = config.with_coefficient(0.4)
+        assert updated.quantization_coefficient == 0.4
+        assert updated.vigilance_override is None
+        assert config.quantization_coefficient == 0.2
+
+    @pytest.mark.parametrize("bad", [0.0, -0.2, 1.1])
+    def test_rejects_bad_coefficient(self, bad):
+        with pytest.raises(ConfigurationError):
+            ModelConfig(quantization_coefficient=bad)
+
+    def test_rejects_bad_norm_order(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig(norm_order=0.5)
+
+    def test_rejects_bad_override(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig(vigilance_override=-1.0)
+
+
+class TestTrainingConfig:
+    def test_defaults(self):
+        config = TrainingConfig()
+        assert config.convergence_threshold == DEFAULT_CONVERGENCE_THRESHOLD
+        assert config.learning_rate_schedule == "hyperbolic"
+        assert config.max_steps is None
+
+    def test_with_threshold(self):
+        config = TrainingConfig().with_threshold(0.5)
+        assert config.convergence_threshold == 0.5
+
+    @pytest.mark.parametrize("bad", [0.0, -0.01])
+    def test_rejects_bad_threshold(self, bad):
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(convergence_threshold=bad)
+
+    def test_rejects_bad_max_steps(self):
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(max_steps=0)
+
+    def test_rejects_negative_min_steps(self):
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(min_steps=-1)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(convergence_window=0)
+
+    def test_rejects_bad_learning_rate_scale(self):
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(learning_rate_scale=0.0)

@@ -1,0 +1,194 @@
+"""Tests for the growing quantizer and the SGD update rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.avq import FixedKQuantizer, GrowingQuantizer
+from repro.core.prototypes import LocalLinearMap
+from repro.core.sgd import apply_winner_update
+from repro.exceptions import ConfigurationError, DimensionalityMismatchError
+
+
+class TestGrowingQuantizer:
+    def test_first_query_becomes_prototype(self):
+        quantizer = GrowingQuantizer(vigilance=0.5)
+        index, grew, distance = quantizer.observe(np.array([0.1, 0.2, 0.1]), answer=0.7)
+        assert index == 0 and grew
+        assert np.isinf(distance)
+        assert quantizer.prototype_count == 1
+        assert quantizer.maps[0].mean_output == pytest.approx(0.7)
+
+    def test_nearby_query_routes_to_winner(self):
+        quantizer = GrowingQuantizer(vigilance=0.5)
+        quantizer.observe(np.array([0.0, 0.0, 0.1]))
+        index, grew, distance = quantizer.observe(np.array([0.1, 0.0, 0.1]))
+        assert index == 0 and not grew
+        assert distance == pytest.approx(0.1)
+        assert quantizer.prototype_count == 1
+
+    def test_distant_query_grows_new_prototype(self):
+        quantizer = GrowingQuantizer(vigilance=0.2)
+        quantizer.observe(np.array([0.0, 0.0, 0.1]))
+        index, grew, _ = quantizer.observe(np.array([1.0, 1.0, 0.1]))
+        assert grew and index == 1
+        assert quantizer.prototype_count == 2
+        assert quantizer.growth_events == 2
+
+    def test_vigilance_controls_prototype_count(self):
+        rng = np.random.default_rng(0)
+        queries = np.column_stack(
+            [rng.uniform(0, 1, size=(300, 2)), np.full(300, 0.1)]
+        )
+        coarse = GrowingQuantizer(vigilance=0.8)
+        fine = GrowingQuantizer(vigilance=0.1)
+        for row in queries:
+            coarse.observe(row)
+            fine.observe(row)
+        assert fine.prototype_count > coarse.prototype_count
+
+    def test_find_winner_is_closest(self):
+        quantizer = GrowingQuantizer(vigilance=0.1)
+        quantizer.observe(np.array([0.0, 0.0, 0.1]))
+        quantizer.observe(np.array([1.0, 1.0, 0.1]))
+        winner, distance = quantizer.find_winner(np.array([0.9, 0.9, 0.1]))
+        assert winner == 1
+        assert distance == pytest.approx(np.sqrt(2 * 0.01))
+
+    def test_find_winner_without_prototypes(self):
+        with pytest.raises(ConfigurationError):
+            GrowingQuantizer(vigilance=0.5).find_winner(np.array([0.0, 0.1]))
+
+    def test_dimension_mismatch(self):
+        quantizer = GrowingQuantizer(vigilance=0.5)
+        quantizer.observe(np.array([0.0, 0.0, 0.1]))
+        with pytest.raises(DimensionalityMismatchError):
+            quantizer.find_winner(np.array([0.0, 0.1]))
+
+    def test_quantization_error_decreases_with_more_prototypes(self):
+        rng = np.random.default_rng(1)
+        queries = np.column_stack(
+            [rng.uniform(0, 1, size=(500, 2)), np.full(500, 0.1)]
+        )
+        coarse = GrowingQuantizer(vigilance=1.0)
+        fine = GrowingQuantizer(vigilance=0.15)
+        for row in queries:
+            coarse.observe(row)
+            fine.observe(row)
+        assert fine.quantization_error(queries) < coarse.quantization_error(queries)
+
+    def test_assignments_within_range(self):
+        quantizer = GrowingQuantizer(vigilance=0.3)
+        rng = np.random.default_rng(2)
+        queries = np.column_stack(
+            [rng.uniform(0, 1, size=(100, 2)), np.full(100, 0.1)]
+        )
+        for row in queries:
+            quantizer.observe(row)
+        assignments = quantizer.assignments(queries)
+        assert assignments.min() >= 0
+        assert assignments.max() < quantizer.prototype_count
+
+    def test_rejects_non_positive_vigilance(self):
+        with pytest.raises(ConfigurationError):
+            GrowingQuantizer(vigilance=0.0)
+
+
+class TestFixedKQuantizer:
+    def test_seeds_first_k_queries(self):
+        quantizer = FixedKQuantizer(k=3)
+        for value in (0.0, 0.5, 1.0, 0.75):
+            quantizer.observe(np.array([value, 0.1]))
+        assert quantizer.prototype_count == 3
+
+    def test_never_grows_beyond_k(self):
+        quantizer = FixedKQuantizer(k=2)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            quantizer.observe(np.append(rng.uniform(0, 1, 2), 0.1))
+        assert quantizer.prototype_count == 2
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            FixedKQuantizer(k=0)
+
+    def test_find_winner_requires_prototypes(self):
+        with pytest.raises(ConfigurationError):
+            FixedKQuantizer(k=2).find_winner(np.array([0.0, 0.1]))
+
+
+class TestWinnerUpdate:
+    def test_prototype_moves_towards_query(self):
+        llm = LocalLinearMap(prototype=np.array([0.0, 0.0, 0.1]))
+        apply_winner_update(llm, np.array([1.0, 0.0, 0.1]), answer=0.5, learning_rate=0.5)
+        assert np.allclose(llm.prototype, [0.5, 0.0, 0.1])
+
+    def test_learning_rate_one_moves_prototype_onto_query(self):
+        llm = LocalLinearMap(prototype=np.array([0.2, 0.2, 0.1]))
+        apply_winner_update(llm, np.array([0.6, 0.4, 0.2]), answer=1.0, learning_rate=1.0)
+        assert np.allclose(llm.prototype, [0.6, 0.4, 0.2])
+
+    def test_intercept_moves_towards_answer(self):
+        llm = LocalLinearMap(prototype=np.array([0.0, 0.0, 0.1]), mean_output=0.0)
+        update = apply_winner_update(
+            llm, np.array([0.0, 0.0, 0.1]), answer=1.0, learning_rate=0.5
+        )
+        assert llm.mean_output == pytest.approx(0.5)
+        assert update.prediction_error == pytest.approx(1.0)
+
+    def test_zero_error_leaves_coefficients_unchanged(self):
+        llm = LocalLinearMap(
+            prototype=np.array([0.0, 0.0, 0.1]), mean_output=2.0, slope=np.zeros(3)
+        )
+        update = apply_winner_update(
+            llm, np.array([0.0, 0.0, 0.1]), answer=2.0, learning_rate=0.5
+        )
+        assert update.prediction_error == pytest.approx(0.0)
+        assert llm.mean_output == pytest.approx(2.0)
+        assert np.allclose(llm.slope, 0.0)
+
+    def test_update_counts_increment(self):
+        llm = LocalLinearMap(prototype=np.array([0.0, 0.0, 0.1]))
+        for _ in range(3):
+            apply_winner_update(llm, np.array([0.1, 0.0, 0.1]), 0.2, 0.1)
+        assert llm.updates == 3
+
+    def test_repeated_updates_converge_to_local_mean(self):
+        llm = LocalLinearMap(prototype=np.array([0.5, 0.5, 0.1]), mean_output=0.0)
+        # Feeding the same (query at the prototype, answer) pair with the
+        # hyperbolic schedule computes a running average, converging to 0.8.
+        for step in range(200):
+            apply_winner_update(
+                llm,
+                np.array([0.5, 0.5, 0.1]),
+                answer=0.8,
+                learning_rate=1.0 / (step + 1.0),
+            )
+        assert llm.mean_output == pytest.approx(0.8, abs=1e-6)
+
+    def test_slope_learns_linear_relationship(self):
+        rng = np.random.default_rng(0)
+        llm = LocalLinearMap(prototype=np.array([0.5, 0.1]), mean_output=0.0)
+        # y = 2 * (x - 0.5) + 1 around the prototype; the slope should head
+        # towards 2 and the intercept towards 1.
+        for step in range(4_000):
+            x = 0.5 + rng.uniform(-0.2, 0.2)
+            query = np.array([x, 0.1])
+            answer = 2.0 * (x - 0.5) + 1.0
+            # Freeze the prototype by re-centering it so only coefficients learn.
+            llm._prototype[:] = [0.5, 0.1]  # noqa: SLF001 - test-only access
+            apply_winner_update(llm, query, answer, learning_rate=1.0 / (step + 1.0))
+        assert llm.mean_output == pytest.approx(1.0, abs=0.05)
+        assert llm.center_slope[0] == pytest.approx(2.0, abs=0.3)
+
+    def test_second_moment_tracks_difference_norm(self):
+        llm = LocalLinearMap(prototype=np.array([0.0, 0.0, 0.1]))
+        apply_winner_update(llm, np.array([0.1, 0.0, 0.1]), 0.0, 1.0)
+        assert llm.difference_second_moment == pytest.approx(0.01)
+
+    @pytest.mark.parametrize("rate", [0.0, -0.5, 1.5])
+    def test_rejects_bad_learning_rate(self, rate):
+        llm = LocalLinearMap(prototype=np.array([0.0, 0.1]))
+        with pytest.raises(ConfigurationError):
+            apply_winner_update(llm, np.array([0.0, 0.1]), 0.0, rate)

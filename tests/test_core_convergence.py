@@ -1,0 +1,120 @@
+"""Tests for the convergence tracker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import ConvergenceTracker
+from repro.core.prototypes import LocalLinearMap, LocalModelParameters
+
+
+def _parameters(*prototypes: np.ndarray) -> LocalModelParameters:
+    params = LocalModelParameters()
+    for prototype in prototypes:
+        params.add(LocalLinearMap(prototype=np.asarray(prototype, dtype=float)))
+    return params
+
+
+class TestObservation:
+    def test_first_observation_counts_full_norm(self):
+        tracker = ConvergenceTracker(threshold=0.01, min_steps=0, window=1)
+        record = tracker.observe(_parameters([3.0, 4.0, 0.0]))
+        assert record.prototype_change == pytest.approx(5.0)
+        assert record.prototype_count == 1
+
+    def test_unchanged_parameters_give_zero_change(self):
+        tracker = ConvergenceTracker(threshold=0.01, min_steps=0, window=1)
+        params = _parameters([0.1, 0.2, 0.3])
+        tracker.observe(params)
+        record = tracker.observe(params)
+        assert record.prototype_change == pytest.approx(0.0)
+        assert record.coefficient_change == pytest.approx(0.0)
+
+    def test_prototype_motion_is_measured(self):
+        tracker = ConvergenceTracker(threshold=0.01, min_steps=0, window=1)
+        params = _parameters([0.0, 0.0, 0.1])
+        tracker.observe(params)
+        params[0].shift_prototype(np.array([0.3, 0.4, 0.0]))
+        record = tracker.observe(params)
+        assert record.prototype_change == pytest.approx(0.5)
+
+    def test_coefficient_motion_is_measured(self):
+        tracker = ConvergenceTracker(threshold=0.01, min_steps=0, window=1)
+        params = _parameters([0.0, 0.0, 0.1])
+        tracker.observe(params)
+        params[0].shift_slope(np.array([0.0, 1.0, 0.0]))
+        params[0].shift_mean_output(0.5)
+        record = tracker.observe(params)
+        assert record.coefficient_change == pytest.approx(1.5)
+
+    def test_new_prototype_keeps_criterion_high(self):
+        tracker = ConvergenceTracker(threshold=0.01, min_steps=0, window=1)
+        params = _parameters([0.1, 0.1, 0.1])
+        tracker.observe(params)
+        tracker.observe(params)
+        assert tracker.has_converged()
+        params.add(LocalLinearMap(prototype=np.array([2.0, 2.0, 0.1])))
+        record = tracker.observe(params)
+        assert record.criterion > 1.0
+
+
+class TestTermination:
+    def test_min_steps_prevents_early_stop(self):
+        tracker = ConvergenceTracker(threshold=10.0, min_steps=5, window=1)
+        params = _parameters([0.0, 0.0, 0.1])
+        for _ in range(4):
+            tracker.observe(params)
+            assert not tracker.has_converged()
+        tracker.observe(params)
+        assert tracker.has_converged()
+
+    def test_window_requires_enough_history(self):
+        tracker = ConvergenceTracker(threshold=10.0, min_steps=0, window=8)
+        params = _parameters([0.0, 0.0, 0.1])
+        for _ in range(7):
+            tracker.observe(params)
+            assert not tracker.has_converged()
+        tracker.observe(params)
+        assert tracker.has_converged()
+
+    def test_windowed_mean_smooths_single_small_step(self):
+        tracker = ConvergenceTracker(threshold=0.05, min_steps=0, window=4)
+        params = _parameters([1.0, 1.0, 0.1])
+        tracker.observe(params)  # huge first step (norm of prototype)
+        for _ in range(3):
+            tracker.observe(params)  # zero-change steps
+        # Mean over the window still includes the big first step.
+        assert tracker.smoothed_criterion > 0.05
+        assert not tracker.has_converged()
+
+    def test_last_criterion_before_any_step_is_infinite(self):
+        tracker = ConvergenceTracker(threshold=0.01)
+        assert tracker.last_criterion == float("inf")
+        assert tracker.smoothed_criterion == float("inf")
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            ConvergenceTracker(threshold=0.1, window=0)
+
+
+class TestHistory:
+    def test_history_recording_toggle(self):
+        params = _parameters([0.0, 0.0, 0.1])
+        recording = ConvergenceTracker(threshold=0.01, record_history=True)
+        silent = ConvergenceTracker(threshold=0.01, record_history=False)
+        for _ in range(5):
+            recording.observe(params)
+            silent.observe(params)
+        assert len(recording.history) == 5
+        assert len(silent.history) == 0
+        assert len(recording.criterion_trajectory()) == 5
+
+    def test_reset_clears_state(self):
+        tracker = ConvergenceTracker(threshold=0.01, min_steps=0, window=1)
+        params = _parameters([0.0, 0.0, 0.1])
+        tracker.observe(params)
+        tracker.reset()
+        assert tracker.steps == 0
+        assert tracker.history == []
+        assert tracker.last_criterion == float("inf")

@@ -1,0 +1,90 @@
+"""Tests for the learning-rate schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.learning_rates import (
+    ConstantRate,
+    HyperbolicRate,
+    PowerRate,
+    get_schedule,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestHyperbolicRate:
+    def test_matches_paper_schedule(self):
+        schedule = HyperbolicRate()
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(1) == pytest.approx(0.5)
+        assert schedule(9) == pytest.approx(0.1)
+
+    def test_is_decreasing(self):
+        schedule = HyperbolicRate()
+        values = [schedule(t) for t in range(100)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_scale(self):
+        assert HyperbolicRate(scale=0.5)(0) == pytest.approx(0.5)
+
+    def test_satisfies_robbins_monro(self):
+        assert HyperbolicRate().satisfies_robbins_monro()
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            HyperbolicRate(scale=0.0)
+
+    def test_rejects_negative_step(self):
+        with pytest.raises(ConfigurationError):
+            HyperbolicRate()(-1)
+
+
+class TestConstantRate:
+    def test_constant_value(self):
+        schedule = ConstantRate(0.1)
+        assert schedule(0) == schedule(1_000) == pytest.approx(0.1)
+
+    def test_not_robbins_monro(self):
+        assert not ConstantRate(0.1).satisfies_robbins_monro()
+
+    @pytest.mark.parametrize("value", [0.0, 1.5, -0.1])
+    def test_rejects_bad_value(self, value):
+        with pytest.raises(ConfigurationError):
+            ConstantRate(value)
+
+
+class TestPowerRate:
+    def test_decay(self):
+        schedule = PowerRate(exponent=0.6)
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(99) == pytest.approx(100 ** -0.6)
+
+    def test_robbins_monro_depends_on_exponent(self):
+        assert PowerRate(exponent=0.75).satisfies_robbins_monro()
+        assert not PowerRate(exponent=0.4).satisfies_robbins_monro()
+        assert not PowerRate(exponent=1.5).satisfies_robbins_monro()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PowerRate(exponent=0.0)
+        with pytest.raises(ConfigurationError):
+            PowerRate(scale=-1.0)
+
+
+class TestClamping:
+    def test_values_clamped_to_unit_interval(self):
+        # A large scale would exceed 1 at step 0; the call clamps it.
+        schedule = HyperbolicRate(scale=10.0)
+        assert schedule(0) == 1.0
+
+
+class TestRegistry:
+    def test_get_schedule_by_name(self):
+        assert isinstance(get_schedule("hyperbolic"), HyperbolicRate)
+        assert isinstance(get_schedule("constant", scale=0.2), ConstantRate)
+        assert isinstance(get_schedule("power"), PowerRate)
+
+    def test_unknown_schedule(self):
+        with pytest.raises(ConfigurationError):
+            get_schedule("unknown")

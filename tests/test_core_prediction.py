@@ -1,0 +1,139 @@
+"""Tests for the neighbourhood-based query processing algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.prediction import (
+    NeighborhoodPredictor,
+    normalized_overlap_weights,
+    overlapping_prototypes,
+)
+from repro.core.prototypes import LocalLinearMap
+from repro.exceptions import NotFittedError
+from repro.queries.query import Query
+
+
+def _llm(center, radius, mean, slope=None):
+    center = np.asarray(center, dtype=float)
+    prototype = np.append(center, radius)
+    if slope is None:
+        slope = np.zeros(prototype.shape[0])
+    else:
+        slope = np.asarray(slope, dtype=float)
+    return LocalLinearMap(prototype=prototype, mean_output=mean, slope=slope)
+
+
+@pytest.fixture()
+def maps() -> list[LocalLinearMap]:
+    return [
+        _llm([0.2, 0.2], 0.1, mean=0.2),
+        _llm([0.5, 0.5], 0.1, mean=0.5),
+        _llm([0.8, 0.8], 0.1, mean=0.8),
+    ]
+
+
+class TestOverlappingPrototypes:
+    def test_only_overlapping_prototypes_returned(self, maps):
+        query = Query(center=np.array([0.5, 0.5]), radius=0.1)
+        overlaps = overlapping_prototypes(query, maps)
+        indices = [index for index, _ in overlaps]
+        assert 1 in indices
+        assert 0 not in indices and 2 not in indices
+
+    def test_large_query_overlaps_everything(self, maps):
+        query = Query(center=np.array([0.5, 0.5]), radius=1.0)
+        assert len(overlapping_prototypes(query, maps)) == 3
+
+    def test_distant_query_has_empty_neighborhood(self, maps):
+        query = Query(center=np.array([5.0, 5.0]), radius=0.1)
+        assert overlapping_prototypes(query, maps) == []
+
+
+class TestNormalizedWeights:
+    def test_weights_sum_to_one(self):
+        weights = normalized_overlap_weights([(0, 0.4), (1, 0.6), (2, 1.0)])
+        assert sum(weight for _, weight in weights) == pytest.approx(1.0)
+
+    def test_zero_degrees_become_uniform(self):
+        weights = normalized_overlap_weights([(0, 0.0), (1, 0.0)])
+        assert all(weight == pytest.approx(0.5) for _, weight in weights)
+
+    def test_empty_input(self):
+        assert normalized_overlap_weights([]) == []
+
+
+class TestQ1Prediction:
+    def test_prediction_at_prototype_matches_local_mean(self, maps):
+        predictor = NeighborhoodPredictor(maps)
+        query = Query(center=np.array([0.5, 0.5]), radius=0.1)
+        assert predictor.predict_mean(query) == pytest.approx(0.5)
+
+    def test_prediction_between_prototypes_is_weighted_average(self, maps):
+        predictor = NeighborhoodPredictor(maps)
+        query = Query(center=np.array([0.35, 0.35]), radius=0.12)
+        value = predictor.predict_mean(query)
+        assert 0.2 <= value <= 0.5
+
+    def test_extrapolation_uses_closest_prototype(self, maps):
+        predictor = NeighborhoodPredictor(maps)
+        query = Query(center=np.array([3.0, 3.0]), radius=0.05)
+        value, diagnostics = predictor.predict_mean_with_diagnostics(query)
+        assert diagnostics.extrapolated
+        assert diagnostics.neighborhood_size == 1
+        assert diagnostics.used_indices == (2,)
+        assert value == pytest.approx(maps[2].evaluate(query.to_vector()))
+
+    def test_diagnostics_weights_sum_to_one(self, maps):
+        predictor = NeighborhoodPredictor(maps)
+        query = Query(center=np.array([0.5, 0.5]), radius=0.6)
+        _, diagnostics = predictor.predict_mean_with_diagnostics(query)
+        assert sum(diagnostics.weights) == pytest.approx(1.0)
+        assert not diagnostics.extrapolated
+
+    def test_empty_model_raises(self):
+        with pytest.raises(NotFittedError):
+            NeighborhoodPredictor([]).predict_mean(
+                Query(center=np.array([0.0, 0.0]), radius=0.1)
+            )
+
+
+class TestQ2Prediction:
+    def test_regression_models_report_overlapping_planes(self, maps):
+        predictor = NeighborhoodPredictor(maps)
+        query = Query(center=np.array([0.5, 0.5]), radius=0.6)
+        planes = predictor.regression_models(query)
+        assert len(planes) == 3
+        assert sum(plane.weight for plane in planes) == pytest.approx(1.0)
+
+    def test_regression_models_extrapolation_returns_single_plane(self, maps):
+        predictor = NeighborhoodPredictor(maps)
+        query = Query(center=np.array([4.0, 4.0]), radius=0.05)
+        planes = predictor.regression_models(query)
+        assert len(planes) == 1
+        assert planes[0].weight == pytest.approx(1.0)
+
+    def test_plane_coefficients_follow_theorem_three(self):
+        llm = _llm([0.5, 0.5], 0.1, mean=1.0, slope=[2.0, 0.0, 0.3])
+        predictor = NeighborhoodPredictor([llm])
+        query = Query(center=np.array([0.5, 0.5]), radius=0.1)
+        plane = predictor.regression_models(query)[0]
+        assert np.allclose(plane.slope, [2.0, 0.0])
+        assert plane.intercept == pytest.approx(1.0 - 2.0 * 0.5)
+
+
+class TestValuePrediction:
+    def test_value_prediction_uses_own_radius(self):
+        # Radius slope is huge; Equation (14) must ignore it by evaluating
+        # each LLM at its own radius.
+        llm = _llm([0.5], 0.1, mean=1.0, slope=[2.0, 100.0])
+        predictor = NeighborhoodPredictor([llm])
+        value = predictor.predict_value(np.array([0.6]), radius=0.1)
+        assert value == pytest.approx(1.0 + 2.0 * 0.1)
+
+    def test_batch_value_prediction(self, maps):
+        predictor = NeighborhoodPredictor(maps)
+        points = np.array([[0.2, 0.2], [0.5, 0.5], [0.8, 0.8]])
+        values = predictor.predict_values(points, radius=0.1)
+        assert np.allclose(values, [0.2, 0.5, 0.8])

@@ -1,0 +1,76 @@
+"""Tests for the R1 surrogate (gas-sensor-like) dataset generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.ols import OLSRegressor
+from repro.data.gas_sensor import generate_gas_sensor_dataset, sensor_response
+from repro.exceptions import ConfigurationError
+from repro.metrics.regression import fvu
+
+
+class TestSensorResponse:
+    def test_is_deterministic(self):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 1, size=(50, 6))
+        assert np.allclose(sensor_response(points), sensor_response(points))
+
+    def test_handles_single_feature(self):
+        values = sensor_response(np.array([[0.5]]))
+        assert values.shape == (1,)
+
+    def test_is_nonlinear_in_inputs(self):
+        # Doubling the input does not double the response.
+        base = sensor_response(np.full((1, 6), 0.2))[0]
+        doubled = sensor_response(np.full((1, 6), 0.4))[0]
+        assert doubled != pytest.approx(2 * base, rel=0.05)
+
+
+class TestGenerateGasSensorDataset:
+    def test_shape_and_scaling(self):
+        dataset = generate_gas_sensor_dataset(1_000, dimension=6, seed=0)
+        assert dataset.size == 1_000
+        assert dataset.dimension == 6
+        assert dataset.inputs.min() >= 0.0 and dataset.inputs.max() <= 1.0
+        assert dataset.outputs.min() >= 0.0 and dataset.outputs.max() <= 1.0
+
+    def test_noise_vector_fraction_adds_rows(self):
+        dataset = generate_gas_sensor_dataset(
+            1_000, dimension=4, noise_vector_fraction=0.2, seed=0
+        )
+        assert dataset.size == 1_200
+
+    def test_seed_reproducibility(self):
+        first = generate_gas_sensor_dataset(500, dimension=3, seed=7)
+        second = generate_gas_sensor_dataset(500, dimension=3, seed=7)
+        assert np.allclose(first.inputs, second.inputs)
+        assert np.allclose(first.outputs, second.outputs)
+
+    def test_different_seeds_differ(self):
+        first = generate_gas_sensor_dataset(500, dimension=3, seed=1)
+        second = generate_gas_sensor_dataset(500, dimension=3, seed=2)
+        assert not np.allclose(first.inputs, second.inputs)
+
+    def test_global_linear_fit_leaves_substantial_unexplained_variance(self):
+        # The property the paper relies on: a single linear model over the
+        # whole dataset is a poor description of the data function.
+        dataset = generate_gas_sensor_dataset(5_000, dimension=2, seed=3)
+        model = OLSRegressor().fit(dataset.inputs, dataset.outputs)
+        global_fvu = fvu(dataset.outputs, model.predict(dataset.inputs))
+        assert global_fvu > 0.3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"size": 0},
+            {"size": 10, "dimension": 0},
+            {"size": 10, "noise_std": -0.1},
+            {"size": 10, "noise_vector_fraction": 1.5},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        size = kwargs.pop("size")
+        with pytest.raises(ConfigurationError):
+            generate_gas_sensor_dataset(size, **kwargs)

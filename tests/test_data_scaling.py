@@ -1,0 +1,63 @@
+"""Tests for the min-max scaler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.scaling import MinMaxScaler, scale_to_unit_cube
+from repro.exceptions import DimensionalityMismatchError, NotFittedError
+
+
+class TestMinMaxScaler:
+    def test_transform_maps_to_unit_interval(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 3.0, size=(100, 4))
+        scaler = MinMaxScaler()
+        scaled = scaler.fit_transform(data)
+        assert scaled.min() >= 0.0 and scaled.max() <= 1.0
+        assert np.allclose(scaled.min(axis=0), 0.0)
+        assert np.allclose(scaled.max(axis=0), 1.0)
+
+    def test_custom_target_interval(self):
+        data = np.array([[0.0], [10.0]])
+        scaler = MinMaxScaler(feature_low=-1.0, feature_high=1.0)
+        scaled = scaler.fit_transform(data)
+        assert scaled.ravel().tolist() == [-1.0, 1.0]
+
+    def test_inverse_round_trip(self):
+        rng = np.random.default_rng(1)
+        data = rng.uniform(-50, 20, size=(50, 3))
+        scaler = MinMaxScaler()
+        recovered = scaler.inverse_transform(scaler.fit_transform(data))
+        assert np.allclose(recovered, data)
+
+    def test_constant_column_maps_to_midpoint(self):
+        data = np.column_stack([np.full(10, 3.0), np.arange(10.0)])
+        scaled = MinMaxScaler().fit_transform(data)
+        assert np.allclose(scaled[:, 0], 0.5)
+
+    def test_requires_fit_before_transform(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform(np.ones((2, 2)))
+
+    def test_dimension_mismatch_raises(self):
+        scaler = MinMaxScaler().fit(np.ones((5, 3)))
+        with pytest.raises(DimensionalityMismatchError):
+            scaler.transform(np.ones((5, 2)))
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(feature_low=1.0, feature_high=0.0)
+
+    def test_transform_new_data_can_exceed_bounds(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [1.0]]))
+        assert scaler.transform(np.array([[2.0]]))[0, 0] == pytest.approx(2.0)
+
+
+class TestScaleToUnitCube:
+    def test_returns_scaler_for_inverse(self):
+        data = np.array([[0.0, 10.0], [4.0, 30.0]])
+        scaled, scaler = scale_to_unit_cube(data)
+        assert scaled.min() == 0.0 and scaled.max() == 1.0
+        assert np.allclose(scaler.inverse_transform(scaled), data)

@@ -1,0 +1,130 @@
+"""Tests for the synthetic dataset container and generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.functions import Rosenbrock
+from repro.data.synthetic import (
+    SyntheticDataset,
+    make_function_dataset,
+    make_rosenbrock_dataset,
+    normalize_dataset,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestSyntheticDataset:
+    def test_basic_properties(self):
+        dataset = SyntheticDataset(inputs=np.ones((5, 3)), outputs=np.arange(5.0))
+        assert dataset.size == 5
+        assert dataset.dimension == 3
+
+    def test_rejects_mismatched_rows(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticDataset(inputs=np.ones((5, 2)), outputs=np.ones(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticDataset(inputs=np.empty((0, 2)), outputs=np.empty(0))
+
+    def test_arrays_are_read_only(self):
+        dataset = SyntheticDataset(inputs=np.ones((3, 2)), outputs=np.ones(3))
+        with pytest.raises(ValueError):
+            dataset.inputs[0, 0] = 5.0
+        with pytest.raises(ValueError):
+            dataset.outputs[0] = 5.0
+
+    def test_subset_by_mask(self):
+        dataset = SyntheticDataset(inputs=np.arange(10.0).reshape(5, 2), outputs=np.arange(5.0))
+        subset = dataset.subset(np.array([0, 2, 4]))
+        assert subset.size == 3
+        assert np.allclose(subset.outputs, [0, 2, 4])
+
+    def test_sample_without_replacement(self):
+        dataset = SyntheticDataset(inputs=np.arange(20.0).reshape(10, 2), outputs=np.arange(10.0))
+        sample = dataset.sample(4, seed=0)
+        assert sample.size == 4
+        assert len(set(sample.outputs.tolist())) == 4
+
+    def test_sample_larger_than_dataset_is_clipped(self):
+        dataset = SyntheticDataset(inputs=np.ones((3, 1)), outputs=np.ones(3))
+        assert dataset.sample(100, seed=0).size == 3
+
+    def test_as_table_layout(self):
+        dataset = SyntheticDataset(inputs=np.ones((4, 2)), outputs=np.full(4, 7.0))
+        table = dataset.as_table()
+        assert table.shape == (4, 3)
+        assert np.allclose(table[:, -1], 7.0)
+
+
+class TestMakeFunctionDataset:
+    def test_outputs_follow_the_function_when_noiseless(self):
+        dataset = make_function_dataset(Rosenbrock(2), 100, seed=1)
+        function = Rosenbrock(2)
+        assert np.allclose(dataset.outputs, function(dataset.inputs))
+
+    def test_output_noise_changes_outputs(self):
+        clean = make_function_dataset(Rosenbrock(2), 100, seed=1)
+        noisy = make_function_dataset(Rosenbrock(2), 100, noise_std=5.0, seed=1)
+        assert not np.allclose(clean.outputs, noisy.outputs)
+
+    def test_feature_noise_decouples_inputs_from_outputs(self):
+        dataset = make_function_dataset(
+            Rosenbrock(2), 200, feature_noise_std=0.5, seed=1
+        )
+        function = Rosenbrock(2)
+        # The stored features no longer reproduce the outputs exactly.
+        assert not np.allclose(dataset.outputs, function(dataset.inputs))
+
+    def test_by_name(self):
+        dataset = make_function_dataset("sine_ridge", 50, dimension=3, seed=2)
+        assert dataset.dimension == 3
+        assert dataset.size == 50
+
+    def test_seed_reproducibility(self):
+        first = make_function_dataset("rosenbrock", 50, dimension=2, seed=3)
+        second = make_function_dataset("rosenbrock", 50, dimension=2, seed=3)
+        assert np.allclose(first.inputs, second.inputs)
+        assert np.allclose(first.outputs, second.outputs)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"size": 0},
+        {"size": 10, "noise_std": -1.0},
+        {"size": 10, "feature_noise_std": -0.5},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        size = kwargs.pop("size")
+        with pytest.raises(ConfigurationError):
+            make_function_dataset(Rosenbrock(2), size, **kwargs)
+
+
+class TestRosenbrockDataset:
+    def test_domain_and_metadata(self):
+        dataset = make_rosenbrock_dataset(100, dimension=3, seed=0)
+        assert dataset.domain == (-10.0, 10.0)
+        assert dataset.dimension == 3
+        assert dataset.metadata["function"] == "rosenbrock"
+
+    def test_feature_noise_on_by_default(self):
+        dataset = make_rosenbrock_dataset(100, dimension=2, seed=0)
+        assert dataset.metadata["feature_noise_std"] == 1.0
+
+
+class TestNormalizeDataset:
+    def test_scales_inputs_and_outputs_to_unit_interval(self):
+        dataset = make_rosenbrock_dataset(500, dimension=2, seed=4)
+        normalized = normalize_dataset(dataset)
+        assert normalized.inputs.min() >= 0.0 and normalized.inputs.max() <= 1.0
+        assert normalized.outputs.min() >= 0.0 and normalized.outputs.max() <= 1.0
+        assert normalized.domain == (0.0, 1.0)
+
+    def test_preserves_row_count_and_order(self):
+        dataset = make_rosenbrock_dataset(200, dimension=2, seed=4)
+        normalized = normalize_dataset(dataset)
+        assert normalized.size == dataset.size
+        # Order preserved: ranks of outputs unchanged.
+        assert np.array_equal(
+            np.argsort(dataset.outputs), np.argsort(normalized.outputs)
+        )

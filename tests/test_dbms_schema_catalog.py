@@ -1,0 +1,129 @@
+"""Tests for table schemas and the metadata catalog."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.dbms.catalog import Catalog
+from repro.dbms.schema import ColumnSpec, TableSchema, schema_for_dataset
+from repro.exceptions import CatalogError, StorageError
+
+
+class TestColumnSpec:
+    def test_valid_column(self):
+        column = ColumnSpec("x1")
+        assert column.affinity == "REAL"
+        assert "x1 REAL NOT NULL" == column.ddl
+
+    def test_affinity_normalised_to_upper(self):
+        assert ColumnSpec("u", affinity="real").affinity == "REAL"
+
+    @pytest.mark.parametrize("name", ["1x", "drop table", "x-y", "", "x;--"])
+    def test_rejects_invalid_identifiers(self, name):
+        with pytest.raises(StorageError):
+            ColumnSpec(name)
+
+    def test_rejects_unknown_affinity(self):
+        with pytest.raises(StorageError):
+            ColumnSpec("x1", affinity="BLOB")
+
+
+class TestTableSchema:
+    def test_schema_for_dataset_layout(self):
+        schema = schema_for_dataset("sensors", 3)
+        assert schema.dimension == 3
+        assert schema.column_names == ["x1", "x2", "x3", "u"]
+
+    def test_create_table_sql_contains_all_columns(self):
+        schema = schema_for_dataset("sensors", 2)
+        ddl = schema.create_table_sql()
+        for column in ("x1", "x2", "u"):
+            assert column in ddl
+        assert ddl.startswith("CREATE TABLE IF NOT EXISTS sensors")
+
+    def test_insert_sql_has_matching_placeholders(self):
+        schema = schema_for_dataset("t", 4)
+        sql = schema.insert_sql()
+        assert sql.count("?") == 5
+
+    def test_statements_are_valid_sqlite(self):
+        schema = schema_for_dataset("demo", 2)
+        connection = sqlite3.connect(":memory:")
+        connection.execute(schema.create_table_sql())
+        connection.execute(schema.insert_sql(), (0.1, 0.2, 0.3))
+        rows = connection.execute(schema.select_all_sql()).fetchall()
+        assert rows == [(0.1, 0.2, 0.3)]
+
+    def test_rejects_invalid_table_name(self):
+        with pytest.raises(StorageError):
+            schema_for_dataset("bad name", 2)
+
+    def test_rejects_zero_dimension(self):
+        with pytest.raises(StorageError):
+            schema_for_dataset("t", 0)
+
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(StorageError):
+            TableSchema(
+                table_name="t",
+                input_columns=(ColumnSpec("u"),),
+            )
+
+
+class TestCatalog:
+    @pytest.fixture()
+    def catalog(self) -> Catalog:
+        return Catalog(sqlite3.connect(":memory:"))
+
+    def test_register_and_get(self, catalog):
+        info = catalog.register("sensors", dimension=3, row_count=100, metadata={"a": 1})
+        assert info.table_name == "sensors"
+        fetched = catalog.get("sensors")
+        assert fetched.dimension == 3
+        assert fetched.row_count == 100
+        assert fetched.metadata == {"a": 1}
+
+    def test_register_duplicate_fails(self, catalog):
+        catalog.register("sensors", 2, 10)
+        with pytest.raises(CatalogError):
+            catalog.register("sensors", 2, 10)
+
+    def test_get_unknown_fails(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.get("missing")
+
+    def test_exists(self, catalog):
+        assert not catalog.exists("sensors")
+        catalog.register("sensors", 2, 10)
+        assert catalog.exists("sensors")
+
+    def test_update_row_count(self, catalog):
+        catalog.register("sensors", 2, 10)
+        catalog.update_row_count("sensors", 25)
+        assert catalog.get("sensors").row_count == 25
+
+    def test_update_row_count_unknown_fails(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.update_row_count("missing", 5)
+
+    def test_unregister(self, catalog):
+        catalog.register("sensors", 2, 10)
+        catalog.unregister("sensors")
+        assert not catalog.exists("sensors")
+
+    def test_unregister_unknown_fails(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.unregister("missing")
+
+    def test_list_tables_sorted(self, catalog):
+        catalog.register("zeta", 2, 1)
+        catalog.register("alpha", 2, 1)
+        names = [info.table_name for info in catalog.list_tables()]
+        assert names == ["alpha", "zeta"]
+
+    def test_schema_reconstruction(self, catalog):
+        catalog.register("sensors", 4, 10)
+        schema = catalog.get("sensors").schema
+        assert schema.column_names == ["x1", "x2", "x3", "x4", "u"]

@@ -1,0 +1,104 @@
+"""Tests for the uniform grid spatial index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dbms.spatial_index import GridIndex
+from repro.exceptions import ConfigurationError, DimensionalityMismatchError
+from repro.queries.geometry import pairwise_lp_distance
+
+
+@pytest.fixture(scope="module")
+def points() -> np.ndarray:
+    return np.random.default_rng(0).uniform(0, 1, size=(2_000, 2))
+
+
+class TestConstruction:
+    def test_basic_properties(self, points):
+        index = GridIndex(points, cells_per_dimension=8)
+        assert index.size == 2_000
+        assert index.dimension == 2
+        assert index.cells_per_dimension == 8
+        assert 0 < index.occupied_cell_count <= 64
+
+    def test_automatic_cell_count(self, points):
+        index = GridIndex(points)
+        assert index.cells_per_dimension >= 1
+
+    def test_rejects_empty_points(self):
+        with pytest.raises(ConfigurationError):
+            GridIndex(np.empty((0, 2)))
+
+    def test_rejects_bad_cell_count(self, points):
+        with pytest.raises(ConfigurationError):
+            GridIndex(points, cells_per_dimension=0)
+
+    def test_explicit_bounds_dimension_mismatch(self, points):
+        with pytest.raises(DimensionalityMismatchError):
+            GridIndex(points, bounds=(np.zeros(3), np.ones(3)))
+
+
+class TestBallQueries:
+    def test_matches_brute_force(self, points):
+        index = GridIndex(points, cells_per_dimension=10)
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            center = rng.uniform(0, 1, size=2)
+            radius = rng.uniform(0.01, 0.3)
+            expected = np.nonzero(
+                pairwise_lp_distance(points, center) <= radius
+            )[0]
+            actual = index.query_ball(center, radius)
+            assert set(actual.tolist()) == set(expected.tolist())
+
+    def test_manhattan_norm(self, points):
+        index = GridIndex(points, cells_per_dimension=10)
+        center = np.array([0.5, 0.5])
+        expected = np.nonzero(pairwise_lp_distance(points, center, p=1) <= 0.2)[0]
+        actual = index.query_ball(center, 0.2, p=1)
+        assert set(actual.tolist()) == set(expected.tolist())
+
+    def test_query_outside_domain_returns_empty(self, points):
+        index = GridIndex(points, cells_per_dimension=10)
+        assert index.query_ball(np.array([5.0, 5.0]), 0.1).size == 0
+
+    def test_candidate_rows_superset_of_matches(self, points):
+        index = GridIndex(points, cells_per_dimension=10)
+        center = np.array([0.3, 0.7])
+        candidates = set(index.candidate_rows(center, 0.2).tolist())
+        matches = set(index.query_ball(center, 0.2).tolist())
+        assert matches <= candidates
+
+    def test_selectivity_between_zero_and_one(self, points):
+        index = GridIndex(points, cells_per_dimension=10)
+        value = index.selectivity(np.array([0.5, 0.5]), 0.25)
+        assert 0.0 < value < 1.0
+
+    def test_zero_radius(self, points):
+        index = GridIndex(points, cells_per_dimension=10)
+        # Query centered exactly on an indexed point with radius 0 finds it.
+        target = points[42]
+        assert 42 in index.query_ball(target, 0.0).tolist()
+
+    def test_rejects_bad_radius(self, points):
+        index = GridIndex(points, cells_per_dimension=10)
+        with pytest.raises(ConfigurationError):
+            index.query_ball(np.array([0.5, 0.5]), -0.1)
+
+    def test_rejects_wrong_dimension(self, points):
+        index = GridIndex(points, cells_per_dimension=10)
+        with pytest.raises(DimensionalityMismatchError):
+            index.query_ball(np.array([0.5, 0.5, 0.5]), 0.1)
+
+
+class TestHigherDimensions:
+    def test_five_dimensional_index(self):
+        pts = np.random.default_rng(2).uniform(0, 1, size=(3_000, 5))
+        index = GridIndex(pts)
+        center = np.full(5, 0.5)
+        radius = 0.4
+        expected = np.nonzero(pairwise_lp_distance(pts, center) <= radius)[0]
+        actual = index.query_ball(center, radius)
+        assert set(actual.tolist()) == set(expected.tolist())

@@ -1,0 +1,150 @@
+"""Tests for the SQL-style analytics front end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig, TrainingConfig
+from repro.core.model import LLMModel
+from repro.data.synthetic import SyntheticDataset
+from repro.dbms.executor import ExactQueryEngine
+from repro.dbms.sqlfront import AnalyticsSession, parse_statement
+from repro.exceptions import SQLSyntaxError
+from repro.queries.query import Query
+from repro.queries.stream import LabelledWorkload
+from repro.queries.workload import QueryWorkloadGenerator, RadiusDistribution, WorkloadSpec
+
+
+class TestParseStatement:
+    def test_parse_q1(self):
+        statement = parse_statement("SELECT AVG(u) FROM sensors WITHIN 0.1 OF (0.3, 0.5)")
+        assert statement.kind == "q1"
+        assert statement.table == "sensors"
+        assert statement.center == (0.3, 0.5)
+        assert statement.radius == pytest.approx(0.1)
+
+    def test_parse_q2(self):
+        statement = parse_statement("SELECT REGRESSION(u) FROM t WITHIN 0.2 OF (1.0)")
+        assert statement.kind == "q2"
+        assert statement.center == (1.0,)
+
+    def test_parse_count(self):
+        statement = parse_statement("SELECT COUNT(*) FROM t WITHIN 0.2 OF (0.1, 0.2, 0.3)")
+        assert statement.kind == "count"
+        assert len(statement.center) == 3
+
+    def test_case_insensitive_and_trailing_semicolon(self):
+        statement = parse_statement("select avg(u) from T within 0.5 of (0.0, 0.0);")
+        assert statement.kind == "q1"
+        assert statement.table == "T"
+
+    def test_scientific_notation_radius(self):
+        statement = parse_statement("SELECT AVG(u) FROM t WITHIN 1e-2 OF (0.5)")
+        assert statement.radius == pytest.approx(0.01)
+
+    def test_to_query(self):
+        statement = parse_statement("SELECT AVG(u) FROM t WITHIN 0.1 OF (0.3, 0.5)")
+        query = statement.to_query()
+        assert isinstance(query, Query)
+        assert np.allclose(query.center, [0.3, 0.5])
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT * FROM t",
+            "SELECT AVG(u) FROM t",
+            "SELECT AVG(u) FROM t WITHIN abc OF (0.1)",
+            "SELECT AVG(u) FROM t WITHIN 0.1 OF ()",
+            "SELECT AVG(u) FROM t WITHIN 0.1 OF (0.1, oops)",
+            "DROP TABLE t",
+        ],
+    )
+    def test_rejects_invalid_statements(self, sql):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement(sql)
+
+    def test_rejects_zero_radius(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("SELECT AVG(u) FROM t WITHIN 0.0 OF (0.1)")
+
+
+@pytest.fixture(scope="module")
+def session() -> AnalyticsSession:
+    rng = np.random.default_rng(0)
+    inputs = rng.uniform(0, 1, size=(3_000, 2))
+    outputs = 1.0 + inputs[:, 0] + 2.0 * inputs[:, 1]
+    dataset = SyntheticDataset(inputs=inputs, outputs=outputs, name="sensors", domain=(0.0, 1.0))
+    engine = ExactQueryEngine(dataset)
+
+    spec = WorkloadSpec(dimension=2, radius=RadiusDistribution(mean=0.15, std=0.03))
+    queries = QueryWorkloadGenerator(spec, seed=1).generate(400)
+    workload = LabelledWorkload.from_queries(queries, engine.mean_value)
+    model = LLMModel(
+        dimension=2,
+        config=ModelConfig(quantization_coefficient=0.1),
+        training=TrainingConfig(convergence_threshold=1e-4),
+    )
+    model.fit(workload)
+
+    analytics = AnalyticsSession()
+    analytics.register_engine("sensors", engine)
+    analytics.register_model("sensors", model)
+    return analytics
+
+
+class TestAnalyticsSession:
+    def test_tables(self, session):
+        assert session.tables == ["sensors"]
+
+    def test_exact_q1(self, session):
+        value = session.execute("SELECT AVG(u) FROM sensors WITHIN 0.2 OF (0.5, 0.5)")
+        # E[u] over the ball around (0.5, 0.5) for u = 1 + x1 + 2 x2 is ~2.5.
+        assert value == pytest.approx(2.5, abs=0.05)
+
+    def test_exact_count(self, session):
+        count = session.execute("SELECT COUNT(*) FROM sensors WITHIN 0.2 OF (0.5, 0.5)")
+        assert isinstance(count, int) and count > 0
+
+    def test_exact_q2_returns_single_model(self, session):
+        models = session.execute(
+            "SELECT REGRESSION(u) FROM sensors WITHIN 0.3 OF (0.5, 0.5)"
+        )
+        assert len(models) == 1
+        intercept, slope = models[0]
+        assert intercept == pytest.approx(1.0, abs=0.05)
+        assert np.allclose(slope, [1.0, 2.0], atol=0.05)
+
+    def test_approximate_q1_close_to_exact(self, session):
+        exact = session.execute("SELECT AVG(u) FROM sensors WITHIN 0.15 OF (0.4, 0.6)")
+        predicted = session.execute(
+            "SELECT AVG(u) FROM sensors WITHIN 0.15 OF (0.4, 0.6)", mode="approximate"
+        )
+        assert predicted == pytest.approx(exact, abs=0.2)
+
+    def test_approximate_q2_returns_local_models(self, session):
+        models = session.execute(
+            "SELECT REGRESSION(u) FROM sensors WITHIN 0.15 OF (0.4, 0.6)",
+            mode="approximate",
+        )
+        assert len(models) >= 1
+        for intercept, slope in models:
+            assert np.isfinite(intercept)
+            assert np.all(np.isfinite(slope))
+
+    def test_approximate_count_rejected(self, session):
+        with pytest.raises(SQLSyntaxError):
+            session.execute(
+                "SELECT COUNT(*) FROM sensors WITHIN 0.2 OF (0.5, 0.5)",
+                mode="approximate",
+            )
+
+    def test_unknown_table(self, session):
+        with pytest.raises(SQLSyntaxError):
+            session.execute("SELECT AVG(u) FROM missing WITHIN 0.2 OF (0.5, 0.5)")
+
+    def test_unknown_mode(self, session):
+        with pytest.raises(SQLSyntaxError):
+            session.execute(
+                "SELECT AVG(u) FROM sensors WITHIN 0.2 OF (0.5, 0.5)", mode="bogus"
+            )

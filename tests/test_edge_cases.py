@@ -1,0 +1,171 @@
+"""Edge-case and failure-injection tests across the library.
+
+These cover the awkward corners that the per-module unit tests do not:
+degenerate workloads, non-Euclidean norms end to end, duplicate training
+pairs, prototypes with extreme radii, and recovery behaviour after errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ExactQueryEngine,
+    LLMModel,
+    ModelConfig,
+    Query,
+    SQLiteDataStore,
+    TrainingConfig,
+)
+from repro.data.synthetic import SyntheticDataset
+from repro.exceptions import EmptySubspaceError, NotFittedError, StorageError
+
+
+@pytest.fixture(scope="module")
+def plane_dataset() -> SyntheticDataset:
+    rng = np.random.default_rng(0)
+    inputs = rng.uniform(0, 1, size=(2_000, 2))
+    outputs = 0.5 + inputs[:, 0] - 0.25 * inputs[:, 1]
+    return SyntheticDataset(inputs=inputs, outputs=outputs, name="plane", domain=(0.0, 1.0))
+
+
+class TestDegenerateTraining:
+    def test_single_training_pair_model_predicts_that_answer(self):
+        model = LLMModel(dimension=2)
+        query = Query(center=np.array([0.5, 0.5]), radius=0.1)
+        model.partial_fit(query, 0.75)
+        assert model.prototype_count == 1
+        assert model.predict_mean(query) == pytest.approx(0.75)
+
+    def test_identical_repeated_pairs_converge_to_the_answer(self):
+        model = LLMModel(dimension=1, training=TrainingConfig(convergence_threshold=1e-9))
+        query = Query(center=np.array([0.3]), radius=0.1)
+        for _ in range(200):
+            model.partial_fit(query, 2.5)
+        assert model.prototype_count == 1
+        assert model.predict_mean(query) == pytest.approx(2.5, abs=1e-6)
+
+    def test_constant_answers_give_zero_slope_planes(self):
+        rng = np.random.default_rng(1)
+        model = LLMModel(dimension=2, config=ModelConfig(quantization_coefficient=0.1))
+        for _ in range(300):
+            center = rng.uniform(0, 1, size=2)
+            model.partial_fit(Query(center=center, radius=0.1), 1.0)
+        probe = Query(center=np.array([0.5, 0.5]), radius=0.2)
+        assert model.predict_mean(probe) == pytest.approx(1.0, abs=1e-6)
+        for plane in model.regression_models(probe):
+            assert np.allclose(plane.slope, 0.0, atol=1e-6)
+
+    def test_extreme_answer_magnitudes(self):
+        model = LLMModel(dimension=1)
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            center = rng.uniform(0, 1, size=1)
+            model.partial_fit(Query(center=center, radius=0.1), float(center[0] * 1e6))
+        prediction = model.predict_mean(Query(center=np.array([0.5]), radius=0.1))
+        assert 0.0 < prediction < 1e6
+
+    def test_negative_answers_supported(self):
+        model = LLMModel(dimension=1)
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            center = rng.uniform(0, 1, size=1)
+            model.partial_fit(Query(center=center, radius=0.1), float(-center[0]))
+        prediction = model.predict_mean(Query(center=np.array([0.8]), radius=0.1))
+        assert prediction < 0.0
+
+
+class TestNonEuclideanNorms:
+    @pytest.mark.parametrize("norm_order", [1.0, np.inf])
+    def test_engine_and_model_agree_on_norm(self, plane_dataset, norm_order):
+        engine = ExactQueryEngine(plane_dataset)
+        model = LLMModel(
+            dimension=2,
+            config=ModelConfig(quantization_coefficient=0.1, norm_order=norm_order),
+        )
+        rng = np.random.default_rng(4)
+        trained = 0
+        for _ in range(400):
+            center = rng.uniform(0.1, 0.9, size=2)
+            query = Query(center=center, radius=0.15, norm_order=norm_order)
+            try:
+                answer = engine.execute_q1(query).mean
+            except EmptySubspaceError:
+                continue
+            model.partial_fit(query, answer)
+            trained += 1
+        assert trained > 300
+        probe = Query(center=np.array([0.5, 0.5]), radius=0.15, norm_order=norm_order)
+        exact = engine.execute_q1(probe).mean
+        assert model.predict_mean(probe) == pytest.approx(exact, abs=0.15)
+
+
+class TestHighDimensionalModel:
+    def test_six_dimensional_training_and_prediction(self):
+        rng = np.random.default_rng(5)
+        model = LLMModel(dimension=6, config=ModelConfig(quantization_coefficient=0.2))
+        for _ in range(300):
+            center = rng.uniform(0, 1, size=6)
+            model.partial_fit(Query(center=center, radius=0.4), float(center.mean()))
+        probe = Query(center=np.full(6, 0.5), radius=0.4)
+        assert model.predict_mean(probe) == pytest.approx(0.5, abs=0.15)
+        planes = model.regression_models(probe)
+        assert all(plane.dimension == 6 for plane in planes)
+
+
+class TestErrorRecovery:
+    def test_prediction_error_does_not_corrupt_model(self):
+        model = LLMModel(dimension=2)
+        with pytest.raises(NotFittedError):
+            model.predict_mean(Query(center=np.array([0.5, 0.5]), radius=0.1))
+        # Training still works after the failed call.
+        model.partial_fit(Query(center=np.array([0.5, 0.5]), radius=0.1), 1.0)
+        assert model.is_fitted
+
+    def test_dimension_mismatch_leaves_parameters_untouched(self):
+        model = LLMModel(dimension=2)
+        model.partial_fit(Query(center=np.array([0.5, 0.5]), radius=0.1), 1.0)
+        before = model.prototype_matrix().copy()
+        with pytest.raises(Exception):
+            model.partial_fit(Query(center=np.array([0.5]), radius=0.1), 1.0)
+        assert np.allclose(model.prototype_matrix(), before)
+
+    def test_store_rejects_unknown_table_after_failed_load(self, plane_dataset):
+        store = SQLiteDataStore(":memory:")
+        store.load_dataset(plane_dataset)
+        with pytest.raises(StorageError):
+            store.load_dataset(plane_dataset)  # duplicate name
+        # The original table remains usable.
+        assert store.row_count("plane") == plane_dataset.size
+        store.close()
+
+    def test_engine_usable_after_empty_subspace_error(self, plane_dataset):
+        engine = ExactQueryEngine(plane_dataset)
+        with pytest.raises(EmptySubspaceError):
+            engine.execute_q1(Query(center=np.array([9.0, 9.0]), radius=0.01))
+        answer = engine.execute_q1(Query(center=np.array([0.5, 0.5]), radius=0.2))
+        assert answer.cardinality > 0
+
+
+class TestRadiusExtremes:
+    def test_huge_radius_query_returns_global_statistics(self, plane_dataset):
+        engine = ExactQueryEngine(plane_dataset)
+        query = Query(center=np.array([0.5, 0.5]), radius=10.0)
+        answer = engine.execute_q1(query)
+        assert answer.cardinality == plane_dataset.size
+        assert answer.mean == pytest.approx(float(plane_dataset.outputs.mean()))
+
+    def test_tiny_radius_prediction_extrapolates(self):
+        model = LLMModel(dimension=2)
+        rng = np.random.default_rng(6)
+        for _ in range(100):
+            center = rng.uniform(0, 1, size=2)
+            model.partial_fit(Query(center=center, radius=0.2), float(center.sum()))
+        # A probe with a vanishingly small radius never overlaps prototypes
+        # whose own radii are ~0.2 only if it is far away; nearby it does.
+        value, diagnostics = model.predict_mean_with_diagnostics(
+            Query(center=np.array([5.0, 5.0]), radius=1e-6)
+        )
+        assert diagnostics.extrapolated
+        assert np.isfinite(value)

@@ -1,0 +1,131 @@
+"""Smoke tests for the experiment harness (small-scale runs).
+
+These tests run each figure's experiment at a deliberately tiny scale to
+verify the plumbing — dataset construction, training, evaluation, result
+structure — and the qualitative relationships the paper reports where they
+are cheap enough to check.  The benchmarks run the full-size versions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import (
+    build_context,
+    default_radius_distribution,
+    run_convergence_experiment,
+    run_local_approximation_example,
+    run_prototype_example,
+    run_q1_accuracy_vs_coefficient,
+    run_scalability_experiment,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestBuildContext:
+    def test_context_structure(self):
+        context = build_context(
+            "R1", dimension=2, dataset_size=2_000, training_queries=150, testing_queries=50, seed=1
+        )
+        assert context.dataset.size == 2_000
+        assert context.dimension == 2
+        assert len(context.training) + len(context.testing) <= 200
+        assert len(context.training) > len(context.testing)
+
+    def test_r2_context_is_normalized(self):
+        context = build_context(
+            "R2", dimension=2, dataset_size=1_000, training_queries=100, testing_queries=30, seed=1
+        )
+        assert context.dataset.inputs.min() >= 0.0
+        assert context.dataset.inputs.max() <= 1.0
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigurationError):
+            build_context("R3")
+
+    def test_train_model_returns_report(self):
+        context = build_context(
+            "R1", dimension=2, dataset_size=2_000, training_queries=150, testing_queries=50, seed=1
+        )
+        model, report = context.train_model(coefficient=0.2)
+        assert model.prototype_count == report.prototype_count
+        assert report.pairs_processed > 0
+
+    def test_default_radius_grows_with_dimension(self):
+        assert (
+            default_radius_distribution(5).mean > default_radius_distribution(2).mean
+        )
+
+
+class TestPrototypeExample:
+    def test_coarse_quantization_gives_few_prototypes(self):
+        result = run_prototype_example(query_count=300, coefficient=0.9, seed=1)
+        assert 1 <= result["prototype_count"] <= 15
+        assert len(result["prototype_centers"]) == result["prototype_count"]
+
+    def test_finer_quantization_gives_more_prototypes(self):
+        coarse = run_prototype_example(query_count=300, coefficient=0.9, seed=1)
+        fine = run_prototype_example(query_count=300, coefficient=0.3, seed=1)
+        assert fine["prototype_count"] > coarse["prototype_count"]
+
+
+class TestLocalApproximationExample:
+    def test_llm_beats_single_global_line(self):
+        result = run_local_approximation_example(
+            dataset_size=1_500, training_queries=500, seed=2
+        )
+        assert result["llm_fvu"] < result["reg_fvu"]
+        assert result["plr_fvu"] <= result["reg_fvu"]
+        assert result["prototype_count"] >= 3
+
+
+class TestConvergenceExperiment:
+    def test_criterion_trajectory_shrinks(self):
+        result = run_convergence_experiment(
+            "R1",
+            dimensions=(2,),
+            dataset_size=2_000,
+            training_queries=400,
+            coefficient=0.1,
+            gamma=0.01,
+            seed=1,
+        )
+        trajectory = np.array(result["by_dimension"][2]["criterion_trajectory"])
+        assert trajectory.size > 10
+        # The criterion at the end is far below its early values.
+        assert trajectory[-1] < trajectory[:10].max()
+
+
+class TestAccuracyExperiment:
+    def test_rmse_increases_with_coarser_quantization(self):
+        result = run_q1_accuracy_vs_coefficient(
+            "R1",
+            dimensions=(2,),
+            coefficients=(0.05, 0.5),
+            dataset_size=3_000,
+            training_queries=400,
+            testing_queries=80,
+            seed=1,
+        )
+        rmse_fine, rmse_coarse = result["rmse"]["d=2"]
+        assert rmse_fine < rmse_coarse
+        prototypes_fine, prototypes_coarse = result["prototypes"]["d=2"]
+        assert prototypes_fine > prototypes_coarse
+
+
+class TestScalabilityExperiment:
+    def test_llm_latency_flat_and_small(self):
+        result = run_scalability_experiment(
+            dataset_sizes=(2_000, 8_000),
+            dimension=2,
+            training_queries=150,
+            measured_queries=10,
+            seed=1,
+        )
+        llm = result["q1_latency_ms"]["llm"]
+        exact = result["q1_latency_ms"]["exact_reg"]
+        # LLM latency does not grow with the dataset by more than noise,
+        # while being much smaller than exact execution on the larger set.
+        assert llm[1] < exact[1]
+        assert len(result["q2_latency_ms"]["plr"]) == 2

@@ -1,0 +1,75 @@
+"""Tests for the timing helpers and text reporting."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.eval.reporting import format_series_table, format_table
+from repro.eval.timing import Stopwatch, measure_mean_latency
+
+
+class TestStopwatch:
+    def test_measures_elapsed_time(self):
+        with Stopwatch() as watch:
+            time.sleep(0.01)
+        assert watch.elapsed >= 0.009
+
+    def test_elapsed_zero_before_use(self):
+        assert Stopwatch().elapsed == 0.0
+
+
+class TestMeasureMeanLatency:
+    def test_counts_items_and_repetitions(self):
+        calls = []
+        result = measure_mean_latency(calls.append, [1, 2, 3], repetitions=2)
+        assert result["count"] == 6
+        assert len(calls) == 6
+        assert result["mean_ms"] >= 0.0
+        assert result["total_seconds"] >= 0.0
+
+    def test_slow_operation_has_higher_latency(self):
+        fast = measure_mean_latency(lambda item: None, range(5))
+        slow = measure_mean_latency(lambda item: time.sleep(0.002), range(5))
+        assert slow["mean_ms"] > fast["mean_ms"]
+
+    def test_rejects_bad_repetitions(self):
+        with pytest.raises(ValueError):
+            measure_mean_latency(lambda item: None, [1], repetitions=0)
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self):
+        text = format_table(["name", "value"], [["alpha", 1.2345], ["beta", 2]])
+        assert "name" in text and "value" in text
+        assert "alpha" in text and "beta" in text
+        assert "1.2345" in text
+
+    def test_title_is_prepended(self):
+        text = format_table(["a"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_nan_and_scientific_rendering(self):
+        text = format_table(["a"], [[float("nan")], [1.5e-7]])
+        assert "nan" in text
+        assert "e-07" in text
+
+    def test_rows_align_with_headers(self):
+        text = format_table(["col_a", "b"], [["x", 1]])
+        header, separator, row = text.splitlines()
+        assert len(header) == len(separator) == len(row)
+
+
+class TestFormatSeriesTable:
+    def test_one_column_per_series(self):
+        text = format_series_table(
+            "a", [0.1, 0.2], {"llm": [1.0, 2.0], "reg": [3.0, 4.0]}
+        )
+        header = text.splitlines()[0]
+        assert "a" in header and "llm" in header and "reg" in header
+        assert "3.0000" in text
+
+    def test_short_series_padded_with_nan(self):
+        text = format_series_table("x", [1, 2, 3], {"s": [1.0]})
+        assert text.count("nan") == 2

@@ -1,0 +1,167 @@
+"""Property-based tests for the geometry primitives and metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics.regression import cod, fvu, rmse, sum_of_squared_residuals, total_sum_of_squares
+from repro.queries.geometry import (
+    balls_overlap,
+    lp_distance,
+    overlap_degree,
+    pairwise_lp_distance,
+)
+from repro.queries.query import Query
+
+finite_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+vectors = arrays(dtype=float, shape=st.integers(1, 6), elements=finite_floats)
+radii = st.floats(min_value=1e-3, max_value=10.0, allow_nan=False)
+
+
+def _pair_of_vectors(draw):
+    dimension = draw(st.integers(1, 6))
+    element = st.floats(min_value=-50, max_value=50, allow_nan=False)
+    first = draw(arrays(dtype=float, shape=dimension, elements=element))
+    second = draw(arrays(dtype=float, shape=dimension, elements=element))
+    return first, second
+
+
+vector_pairs = st.composite(_pair_of_vectors)()
+
+
+class TestDistanceProperties:
+    @given(vector_pairs)
+    @settings(max_examples=80, deadline=None)
+    def test_symmetry(self, pair):
+        first, second = pair
+        assert lp_distance(first, second) == pytest.approx(
+            lp_distance(second, first), rel=1e-9, abs=1e-9
+        )
+
+    @given(vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_identity(self, vector):
+        assert lp_distance(vector, vector) == 0.0
+
+    @given(vector_pairs, st.sampled_from([1.0, 2.0, 3.0, np.inf]))
+    @settings(max_examples=80, deadline=None)
+    def test_non_negative(self, pair, order):
+        first, second = pair
+        assert lp_distance(first, second, p=order) >= 0.0
+
+    @given(vector_pairs)
+    @settings(max_examples=60, deadline=None)
+    def test_norm_ordering(self, pair):
+        # L1 >= L2 >= Linf for any pair of vectors.
+        first, second = pair
+        l1 = lp_distance(first, second, p=1)
+        l2 = lp_distance(first, second, p=2)
+        linf = lp_distance(first, second, p=np.inf)
+        assert l1 + 1e-9 >= l2 >= linf - 1e-9
+
+    @given(vector_pairs)
+    @settings(max_examples=60, deadline=None)
+    def test_pairwise_matches_scalar(self, pair):
+        first, second = pair
+        batch = pairwise_lp_distance(np.vstack([first, second]), second)
+        assert batch[0] == pytest.approx(lp_distance(first, second), rel=1e-9, abs=1e-9)
+        assert batch[1] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestOverlapProperties:
+    @given(vector_pairs, radii, radii)
+    @settings(max_examples=100, deadline=None)
+    def test_degree_in_unit_interval(self, pair, radius_a, radius_b):
+        first, second = pair
+        degree = overlap_degree(first, radius_a, second, radius_b)
+        assert 0.0 <= degree <= 1.0
+
+    @given(vector_pairs, radii, radii)
+    @settings(max_examples=100, deadline=None)
+    def test_degree_positive_implies_overlap(self, pair, radius_a, radius_b):
+        first, second = pair
+        degree = overlap_degree(first, radius_a, second, radius_b)
+        if degree > 0.0:
+            assert balls_overlap(first, radius_a, second, radius_b)
+
+    @given(vector_pairs, radii, radii)
+    @settings(max_examples=100, deadline=None)
+    def test_degree_symmetry(self, pair, radius_a, radius_b):
+        first, second = pair
+        forward = overlap_degree(first, radius_a, second, radius_b)
+        backward = overlap_degree(second, radius_b, first, radius_a)
+        assert forward == pytest.approx(backward, abs=1e-12)
+
+    @given(vectors, radii)
+    @settings(max_examples=60, deadline=None)
+    def test_identical_queries_have_maximal_degree(self, center, radius):
+        assert overlap_degree(center, radius, center, radius) == pytest.approx(1.0)
+
+
+class TestQueryVectorProperties:
+    @given(vectors, radii)
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip(self, center, radius):
+        query = Query(center=center, radius=radius)
+        rebuilt = Query.from_vector(query.to_vector())
+        assert np.allclose(rebuilt.center, query.center)
+        assert rebuilt.radius == pytest.approx(query.radius)
+
+    @given(vectors, radii, radii)
+    @settings(max_examples=80, deadline=None)
+    def test_distance_to_self_variant_is_radius_difference(self, center, r1, r2):
+        first = Query(center=center, radius=r1)
+        second = Query(center=center, radius=r2)
+        assert first.distance_to(second) == pytest.approx(abs(r1 - r2), abs=1e-9)
+
+
+predictions = arrays(
+    dtype=float,
+    shape=st.integers(2, 40),
+    elements=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+)
+
+
+class TestMetricProperties:
+    @given(predictions)
+    @settings(max_examples=80, deadline=None)
+    def test_rmse_zero_iff_equal(self, values):
+        assert rmse(values, values) == 0.0
+
+    @given(predictions, predictions)
+    @settings(max_examples=80, deadline=None)
+    def test_rmse_non_negative(self, actual, predicted):
+        n = min(len(actual), len(predicted))
+        assert rmse(actual[:n], predicted[:n]) >= 0.0
+
+    @given(predictions)
+    @settings(max_examples=80, deadline=None)
+    def test_fvu_cod_sum_to_one(self, actual):
+        rng = np.random.default_rng(0)
+        predicted = actual + rng.normal(0, 1.0, size=actual.shape)
+        if np.var(actual) < 1e-9:
+            return
+        assert fvu(actual, predicted) + cod(actual, predicted) == pytest.approx(1.0)
+
+    @given(predictions)
+    @settings(max_examples=80, deadline=None)
+    def test_mean_prediction_gives_unit_fvu(self, actual):
+        if np.var(actual) < 1e-9:
+            return
+        predicted = np.full_like(actual, float(np.mean(actual)))
+        assert fvu(actual, predicted) == pytest.approx(1.0)
+
+    @given(predictions, predictions)
+    @settings(max_examples=80, deadline=None)
+    def test_ssr_bounded_by_decomposition(self, actual, predicted):
+        n = min(len(actual), len(predicted))
+        actual, predicted = actual[:n], predicted[:n]
+        ssr = sum_of_squared_residuals(actual, predicted)
+        assert ssr >= 0.0
+        assert total_sum_of_squares(actual) >= 0.0

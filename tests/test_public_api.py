@@ -1,0 +1,68 @@
+"""Tests of the top-level public API surface."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ exports missing attribute {name}"
+
+    def test_key_classes_exported(self):
+        for name in (
+            "LLMModel",
+            "Query",
+            "ExactQueryEngine",
+            "SQLiteDataStore",
+            "OLSRegressor",
+            "MARSRegressor",
+            "AnalyticsSession",
+            "QueryWorkloadGenerator",
+        ):
+            assert name in repro.__all__
+
+    def test_exceptions_share_base_class(self):
+        for name in (
+            "InvalidQueryError",
+            "DimensionalityMismatchError",
+            "NotFittedError",
+            "EmptySubspaceError",
+            "StorageError",
+            "CatalogError",
+            "SQLSyntaxError",
+            "ConfigurationError",
+            "WorkloadError",
+        ):
+            exc = getattr(repro, name)
+            assert issubclass(exc, repro.ReproError)
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.queries",
+            "repro.dbms",
+            "repro.data",
+            "repro.baselines",
+            "repro.metrics",
+            "repro.eval",
+        ],
+    )
+    def test_subpackages_importable(self, module):
+        imported = importlib.import_module(module)
+        assert imported.__doc__  # every subpackage documents itself
+
+    def test_metric_shortcuts(self):
+        assert repro.rmse([1.0, 2.0], [1.0, 2.0]) == 0.0
+        assert repro.cod([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 1.0
+        assert repro.fvu([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0

@@ -1,0 +1,165 @@
+"""Tests for the Lp geometry helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionalityMismatchError, InvalidQueryError
+from repro.queries.geometry import (
+    ball_volume,
+    balls_overlap,
+    lp_distance,
+    lp_norm,
+    overlap_degree,
+    pairwise_lp_distance,
+    points_within_ball,
+)
+
+
+class TestLpNorm:
+    def test_euclidean(self):
+        assert lp_norm(np.array([3.0, 4.0])) == pytest.approx(5.0)
+
+    def test_manhattan(self):
+        assert lp_norm(np.array([3.0, -4.0]), p=1) == pytest.approx(7.0)
+
+    def test_chebyshev(self):
+        assert lp_norm(np.array([3.0, -4.0]), p=np.inf) == pytest.approx(4.0)
+
+    def test_zero_vector(self):
+        assert lp_norm(np.zeros(5)) == 0.0
+
+    def test_rejects_invalid_order(self):
+        with pytest.raises(InvalidQueryError):
+            lp_norm(np.array([1.0]), p=0.5)
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(InvalidQueryError):
+            lp_norm(np.ones((2, 2)))
+
+
+class TestLpDistance:
+    def test_symmetry(self):
+        a, b = np.array([0.0, 1.0]), np.array([2.0, 3.0])
+        assert lp_distance(a, b) == pytest.approx(lp_distance(b, a))
+
+    def test_identity(self):
+        a = np.array([1.5, -2.0, 0.25])
+        assert lp_distance(a, a) == 0.0
+
+    def test_triangle_inequality(self):
+        a, b, c = np.array([0.0, 0.0]), np.array([1.0, 1.0]), np.array([2.0, 0.0])
+        assert lp_distance(a, c) <= lp_distance(a, b) + lp_distance(b, c) + 1e-12
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionalityMismatchError):
+            lp_distance(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestPairwiseDistance:
+    def test_matches_scalar_distance(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [3.0, 4.0]])
+        center = np.array([0.0, 0.0])
+        distances = pairwise_lp_distance(points, center)
+        expected = [lp_distance(row, center) for row in points]
+        assert np.allclose(distances, expected)
+
+    @pytest.mark.parametrize("p", [1.0, 2.0, 3.0, np.inf])
+    def test_orders_agree_with_numpy(self, p):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(50, 4))
+        center = rng.normal(size=4)
+        distances = pairwise_lp_distance(points, center, p=p)
+        expected = np.array(
+            [np.linalg.norm(row - center, ord=p) for row in points]
+        )
+        assert np.allclose(distances, expected)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionalityMismatchError):
+            pairwise_lp_distance(np.ones((3, 2)), np.ones(3))
+
+
+class TestPointsWithinBall:
+    def test_selects_inclusive_boundary(self):
+        points = np.array([[0.0], [1.0], [2.0]])
+        mask = points_within_ball(points, np.array([0.0]), radius=1.0)
+        assert mask.tolist() == [True, True, False]
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            points_within_ball(np.ones((2, 1)), np.array([0.0]), radius=-0.1)
+
+    def test_zero_radius_selects_exact_matches(self):
+        points = np.array([[0.5, 0.5], [0.5, 0.6]])
+        mask = points_within_ball(points, np.array([0.5, 0.5]), radius=0.0)
+        assert mask.tolist() == [True, False]
+
+
+class TestBallVolume:
+    def test_known_values(self):
+        assert ball_volume(1.0, 1) == pytest.approx(2.0)
+        assert ball_volume(1.0, 2) == pytest.approx(math.pi)
+        assert ball_volume(1.0, 3) == pytest.approx(4.0 / 3.0 * math.pi)
+
+    def test_scaling_with_radius(self):
+        assert ball_volume(2.0, 3) == pytest.approx(8.0 * ball_volume(1.0, 3))
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(InvalidQueryError):
+            ball_volume(-1.0, 2)
+
+
+class TestOverlapPredicate:
+    def test_overlapping(self):
+        assert balls_overlap(np.array([0.0, 0.0]), 1.0, np.array([1.5, 0.0]), 1.0)
+
+    def test_just_touching_counts_as_overlap(self):
+        assert balls_overlap(np.array([0.0]), 1.0, np.array([2.0]), 1.0)
+
+    def test_disjoint(self):
+        assert not balls_overlap(np.array([0.0]), 1.0, np.array([2.5]), 1.0)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            balls_overlap(np.array([0.0]), -1.0, np.array([1.0]), 1.0)
+
+
+class TestOverlapDegree:
+    def test_identical_queries_have_degree_one(self):
+        center = np.array([0.3, 0.7])
+        assert overlap_degree(center, 0.2, center, 0.2) == pytest.approx(1.0)
+
+    def test_disjoint_queries_have_degree_zero(self):
+        assert overlap_degree(np.array([0.0]), 0.1, np.array([5.0]), 0.1) == 0.0
+
+    def test_just_touching_degree_zero(self):
+        value = overlap_degree(np.array([0.0]), 1.0, np.array([2.0]), 1.0)
+        assert value == pytest.approx(0.0)
+
+    def test_degree_is_symmetric(self):
+        a, b = np.array([0.1, 0.2]), np.array([0.3, 0.1])
+        assert overlap_degree(a, 0.3, b, 0.2) == pytest.approx(
+            overlap_degree(b, 0.2, a, 0.3)
+        )
+
+    def test_degree_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            a, b = rng.uniform(0, 1, 2), rng.uniform(0, 1, 2)
+            ra, rb = rng.uniform(0.01, 0.5, 2)
+            degree = overlap_degree(a, ra, b, rb)
+            assert 0.0 <= degree <= 1.0
+
+    def test_concentric_unequal_radii_below_one(self):
+        # A small ball strictly inside a larger one: overlapping but not a
+        # perfect match, so the degree must be strictly between 0 and 1.
+        value = overlap_degree(np.array([0.5]), 0.1, np.array([0.5]), 0.4)
+        assert 0.0 < value < 1.0
+
+    def test_degenerate_point_queries(self):
+        assert overlap_degree(np.array([1.0]), 0.0, np.array([1.0]), 0.0) == 1.0
+        assert overlap_degree(np.array([1.0]), 0.0, np.array([2.0]), 0.0) == 0.0

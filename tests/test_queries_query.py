@@ -1,0 +1,121 @@
+"""Tests for the Query and answer containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionalityMismatchError, InvalidQueryError
+from repro.queries.query import Query, QueryAnswer, QueryResultPair, query_distance
+
+
+class TestQueryConstruction:
+    def test_basic_properties(self):
+        query = Query(center=np.array([0.2, 0.4]), radius=0.1)
+        assert query.dimension == 2
+        assert query.radius == 0.1
+        assert query.norm_order == 2.0
+
+    def test_center_is_read_only(self):
+        query = Query(center=np.array([0.2, 0.4]), radius=0.1)
+        with pytest.raises(ValueError):
+            query.center[0] = 9.0
+
+    def test_accepts_list_center(self):
+        query = Query(center=[0.1, 0.2, 0.3], radius=0.5)
+        assert query.dimension == 3
+
+    @pytest.mark.parametrize("radius", [0.0, -0.5, float("nan"), float("inf")])
+    def test_rejects_bad_radius(self, radius):
+        with pytest.raises(InvalidQueryError):
+            Query(center=np.array([0.0]), radius=radius)
+
+    def test_rejects_non_finite_center(self):
+        with pytest.raises(InvalidQueryError):
+            Query(center=np.array([np.nan, 0.0]), radius=0.1)
+
+    def test_rejects_matrix_center(self):
+        with pytest.raises(InvalidQueryError):
+            Query(center=np.ones((2, 2)), radius=0.1)
+
+    def test_rejects_bad_norm(self):
+        with pytest.raises(InvalidQueryError):
+            Query(center=np.array([0.0]), radius=0.1, norm_order=0.3)
+
+
+class TestQueryVectorRoundTrip:
+    def test_to_vector_layout(self):
+        query = Query(center=np.array([0.2, 0.4]), radius=0.1)
+        assert np.allclose(query.to_vector(), [0.2, 0.4, 0.1])
+
+    def test_round_trip(self):
+        original = Query(center=np.array([0.3, 0.6, 0.9]), radius=0.25)
+        rebuilt = Query.from_vector(original.to_vector())
+        assert rebuilt.dimension == original.dimension
+        assert np.allclose(rebuilt.center, original.center)
+        assert rebuilt.radius == pytest.approx(original.radius)
+
+    def test_from_vector_needs_two_components(self):
+        with pytest.raises(InvalidQueryError):
+            Query.from_vector(np.array([1.0]))
+
+
+class TestQueryGeometry:
+    def test_distance_includes_radius_component(self):
+        first = Query(center=np.array([0.0, 0.0]), radius=0.1)
+        second = Query(center=np.array([0.0, 0.0]), radius=0.3)
+        assert first.distance_to(second) == pytest.approx(0.2)
+
+    def test_distance_to_dimension_mismatch(self):
+        first = Query(center=np.array([0.0]), radius=0.1)
+        second = Query(center=np.array([0.0, 0.0]), radius=0.1)
+        with pytest.raises(DimensionalityMismatchError):
+            first.distance_to(second)
+
+    def test_query_distance_helper(self):
+        first = Query(center=np.array([0.0]), radius=0.1)
+        second = Query(center=np.array([1.0]), radius=0.1)
+        assert query_distance(first, second) == pytest.approx(1.0)
+
+    def test_overlaps_and_degree_consistent(self):
+        first = Query(center=np.array([0.0, 0.0]), radius=0.2)
+        near = Query(center=np.array([0.1, 0.0]), radius=0.2)
+        far = Query(center=np.array([5.0, 0.0]), radius=0.2)
+        assert first.overlaps(near)
+        assert first.overlap_degree(near) > 0.0
+        assert not first.overlaps(far)
+        assert first.overlap_degree(far) == 0.0
+
+    def test_contains_point(self):
+        query = Query(center=np.array([0.5, 0.5]), radius=0.1)
+        assert query.contains_point(np.array([0.55, 0.5]))
+        assert not query.contains_point(np.array([0.9, 0.9]))
+
+
+class TestQueryAnswer:
+    def test_valid_answer(self):
+        answer = QueryAnswer(mean=0.4, cardinality=10)
+        assert answer.coefficients is None
+        assert answer.r_squared is None
+
+    def test_rejects_negative_cardinality(self):
+        with pytest.raises(InvalidQueryError):
+            QueryAnswer(mean=0.0, cardinality=-1)
+
+    def test_coefficients_are_read_only(self):
+        answer = QueryAnswer(
+            mean=0.4, cardinality=10, coefficients=np.array([1.0, 2.0]), r_squared=0.9
+        )
+        with pytest.raises(ValueError):
+            answer.coefficients[0] = 5.0
+
+
+class TestQueryResultPair:
+    def test_valid_pair(self):
+        pair = QueryResultPair(Query(center=np.array([0.0]), radius=0.1), answer=1.5)
+        assert pair.answer == 1.5
+        assert pair.metadata == {}
+
+    def test_rejects_non_finite_answer(self):
+        with pytest.raises(InvalidQueryError):
+            QueryResultPair(Query(center=np.array([0.0]), radius=0.1), answer=float("nan"))
