@@ -1,0 +1,188 @@
+"""Batch query-processing throughput vs the per-query loop.
+
+The paper's headline efficiency claim is per-query; a heavy-traffic
+deployment additionally wants *batch* throughput.  This benchmark measures
+Q1 prediction throughput of the vectorised batch engine
+(``LLMModel.predict_mean_batch``) against the per-query Python loop on the
+Figure-12 scalability setup, plus the batched exact executor
+(``ExactQueryEngine.execute_q1_batch``) against its per-query loop, and
+asserts the headline requirement: **>= 10x** prediction throughput at batch
+size 1,000.
+
+The results are written to ``BENCH_batch.json`` so CI runs accumulate a
+performance trajectory.  Run standalone with::
+
+    PYTHONPATH=src python benchmarks/bench_batch_throughput.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.eval.experiments import build_context
+from repro.eval.timing import measure_throughput
+
+#: Required speedup of batch prediction over the per-query loop.
+REQUIRED_SPEEDUP = 10.0
+
+
+def run_batch_throughput(
+    batch_size: int = 1_000,
+    dataset_size: int = 40_000,
+    training_queries: int = 800,
+    *,
+    dataset_name: str = "R2",
+    dimension: int = 2,
+    repetitions: int = 3,
+    seed: int = 7,
+) -> dict:
+    """Measure batch vs per-query throughput and verify numerical agreement."""
+    context = build_context(
+        dataset_name,
+        dimension=dimension,
+        dataset_size=dataset_size,
+        training_queries=training_queries,
+        testing_queries=50,
+        seed=seed,
+    )
+    model, _ = context.train_model()
+    generator_queries = context.training.queries
+    # Cycle the labelled workload up to the requested batch size.
+    queries = [
+        generator_queries[index % len(generator_queries)]
+        for index in range(batch_size)
+    ]
+    matrix = np.vstack([query.to_vector() for query in queries])
+
+    # --- model Q1 prediction: loop vs batch -------------------------------- #
+    def _loop() -> list[float]:
+        return [model.predict_mean(query) for query in queries]
+
+    loop_stats = measure_throughput(_loop, batch_size, repetitions=repetitions)
+    batch_stats = measure_throughput(
+        lambda: model.predict_mean_batch(matrix), batch_size, repetitions=repetitions
+    )
+    speedup = batch_stats["items_per_second"] / loop_stats["items_per_second"]
+
+    loop_answers = np.asarray(_loop())
+    batch_answers = model.predict_mean_batch(matrix)
+    max_deviation = float(np.max(np.abs(loop_answers - batch_answers)))
+
+    # --- exact executor: loop vs batch ------------------------------------- #
+    exact_queries = queries[: min(200, batch_size)]
+
+    def _exact_loop() -> None:
+        for query in exact_queries:
+            context.engine.execute_q1(query)
+
+    exact_loop = measure_throughput(
+        _exact_loop, len(exact_queries), repetitions=repetitions
+    )
+    exact_batch = measure_throughput(
+        lambda: context.engine.execute_q1_batch(exact_queries),
+        len(exact_queries),
+        repetitions=repetitions,
+    )
+
+    return {
+        "setup": {
+            "dataset": dataset_name,
+            "dimension": dimension,
+            "dataset_size": dataset_size,
+            "training_queries": training_queries,
+            "batch_size": batch_size,
+            "prototype_count": model.prototype_count,
+        },
+        "q1_prediction": {
+            "loop_qps": loop_stats["items_per_second"],
+            "batch_qps": batch_stats["items_per_second"],
+            "loop_mean_latency_ms": loop_stats["mean_latency_ms"],
+            "batch_mean_latency_ms": batch_stats["mean_latency_ms"],
+            "speedup": speedup,
+            "max_abs_deviation": max_deviation,
+        },
+        "exact_q1_execution": {
+            "loop_qps": exact_loop["items_per_second"],
+            "batch_qps": exact_batch["items_per_second"],
+            "speedup": exact_batch["items_per_second"]
+            / exact_loop["items_per_second"],
+        },
+        "required_speedup": REQUIRED_SPEEDUP,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def _format(result: dict) -> str:
+    q1 = result["q1_prediction"]
+    exact = result["exact_q1_execution"]
+    lines = [
+        "Batch query-processing throughput (Fig-12 setup)",
+        f"  prototypes:           {result['setup']['prototype_count']}",
+        f"  batch size:           {result['setup']['batch_size']}",
+        f"  Q1 loop:              {q1['loop_qps']:,.0f} q/s"
+        f" ({q1['loop_mean_latency_ms']:.4f} ms/q)",
+        f"  Q1 batch:             {q1['batch_qps']:,.0f} q/s"
+        f" ({q1['batch_mean_latency_ms']:.4f} ms/q)",
+        f"  Q1 speedup:           {q1['speedup']:.1f}x (required >= "
+        f"{result['required_speedup']:.0f}x)",
+        f"  Q1 max deviation:     {q1['max_abs_deviation']:.2e}",
+        f"  exact loop:           {exact['loop_qps']:,.0f} q/s",
+        f"  exact batch:          {exact['batch_qps']:,.0f} q/s"
+        f" ({exact['speedup']:.1f}x)",
+    ]
+    return "\n".join(lines)
+
+
+def test_batch_throughput(results_dir, record_table):
+    """Benchmark-suite entry point: asserts the >= 10x headline."""
+    result = run_batch_throughput()
+    record_table("bench_batch_throughput", _format(result))
+    (results_dir / "BENCH_batch.json").write_text(
+        json.dumps(result, indent=2) + "\n", encoding="utf-8"
+    )
+    assert result["q1_prediction"]["speedup"] >= REQUIRED_SPEEDUP
+    assert result["q1_prediction"]["max_abs_deviation"] <= 1e-9
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small, fast configuration for CI smoke runs",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_batch.json"),
+        help="where to write the JSON results (default: ./BENCH_batch.json)",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        result = run_batch_throughput(
+            batch_size=1_000, dataset_size=10_000, training_queries=400
+        )
+    else:
+        result = run_batch_throughput()
+    print(_format(result))
+    args.output.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {args.output}")
+    if result["q1_prediction"]["speedup"] < REQUIRED_SPEEDUP:
+        print(
+            f"FAIL: batch speedup {result['q1_prediction']['speedup']:.1f}x is "
+            f"below the required {REQUIRED_SPEEDUP:.0f}x"
+        )
+        return 1
+    if result["q1_prediction"]["max_abs_deviation"] > 1e-9:
+        print("FAIL: batch answers deviate from the per-query loop")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,7 @@ from .sgd import apply_winner_update
 from .prediction import (
     NeighborhoodPredictor,
     normalized_overlap_weights,
+    normalized_weight_rows,
     overlapping_prototypes,
 )
 from .model import LLMModel, TrainingReport
@@ -51,6 +52,7 @@ __all__ = [
     "NeighborhoodPredictor",
     "overlapping_prototypes",
     "normalized_overlap_weights",
+    "normalized_weight_rows",
     "LLMModel",
     "TrainingReport",
     "StreamingTrainer",

@@ -50,12 +50,12 @@ class GrowingQuantizer:
         return len(self.parameters)
 
     @property
-    def maps(self) -> list[LocalLinearMap]:
-        """The LLMs attached to the prototypes."""
-        return list(self.parameters)
+    def maps(self) -> tuple[LocalLinearMap, ...]:
+        """The LLMs attached to the prototypes (cached read-only view)."""
+        return self.parameters.maps_view
 
     def prototype_matrix(self) -> np.ndarray:
-        """Stack the prototypes into a ``(K, d + 1)`` matrix."""
+        """Stack the prototypes into a ``(K, d + 1)`` matrix (copy)."""
         return self.parameters.prototype_matrix()
 
     # ------------------------------------------------------------------ #
@@ -72,7 +72,9 @@ class GrowingQuantizer:
         if not self.parameters.maps:
             raise ConfigurationError("the quantizer holds no prototypes yet")
         vec = np.asarray(query_vector, dtype=float).ravel()
-        matrix = self.parameters.prototype_matrix()
+        # Zero-copy view of the dense prototype store: the winner search is
+        # O(dK) arithmetic with no per-step re-stacking.
+        matrix = self.parameters.prototype_view()
         if vec.shape[0] != matrix.shape[1]:
             raise DimensionalityMismatchError(
                 f"query vector has dimension {vec.shape[0]}, prototypes have "
@@ -120,7 +122,7 @@ class GrowingQuantizer:
         vectors = np.atleast_2d(np.asarray(query_vectors, dtype=float))
         if not self.parameters.maps:
             raise ConfigurationError("the quantizer holds no prototypes yet")
-        matrix = self.parameters.prototype_matrix()
+        matrix = self.parameters.prototype_view()
         if vectors.shape[1] != matrix.shape[1]:
             raise DimensionalityMismatchError(
                 f"query vectors have dimension {vectors.shape[1]}, prototypes "
@@ -135,7 +137,7 @@ class GrowingQuantizer:
     def assignments(self, query_vectors: np.ndarray) -> np.ndarray:
         """Return the index of the winning prototype for each query vector."""
         vectors = np.atleast_2d(np.asarray(query_vectors, dtype=float))
-        matrix = self.parameters.prototype_matrix()
+        matrix = self.parameters.prototype_view()
         differences = vectors[:, np.newaxis, :] - matrix[np.newaxis, :, :]
         distances = np.linalg.norm(differences, axis=2)
         return np.argmin(distances, axis=1)
@@ -160,15 +162,15 @@ class FixedKQuantizer:
         return len(self.parameters)
 
     @property
-    def maps(self) -> list[LocalLinearMap]:
-        return list(self.parameters)
+    def maps(self) -> tuple[LocalLinearMap, ...]:
+        return self.parameters.maps_view
 
     def find_winner(self, query_vector: np.ndarray) -> tuple[int, float]:
         """Return ``(index, distance)`` of the closest prototype."""
         if not self.parameters.maps:
             raise ConfigurationError("the quantizer holds no prototypes yet")
         vec = np.asarray(query_vector, dtype=float).ravel()
-        matrix = self.parameters.prototype_matrix()
+        matrix = self.parameters.prototype_view()
         distances = np.linalg.norm(matrix - vec[np.newaxis, :], axis=1)
         winner = int(np.argmin(distances))
         return winner, float(distances[winner])

@@ -137,8 +137,8 @@ class LLMModel:
         return self._quantizer.prototype_count
 
     @property
-    def local_maps(self) -> list[LocalLinearMap]:
-        """The trained local linear maps."""
+    def local_maps(self) -> Sequence[LocalLinearMap]:
+        """The trained local linear maps (cached read-only view)."""
         return self._quantizer.maps
 
     @property
@@ -195,7 +195,7 @@ class LLMModel:
         vector = query.to_vector()
         winner_index, grew, _ = self._quantizer.observe(vector, answer=float(answer))
         if not grew:
-            winner = self._quantizer.maps[winner_index]
+            winner = self._quantizer.parameters[winner_index]
             # The learning-rate schedule is indexed by the winner's own update
             # count, so every LLM's coefficients follow their full Robbins-
             # Monro trajectory regardless of how many other prototypes exist.
@@ -281,13 +281,71 @@ class LLMModel:
         return self._predictor().predict_mean_with_diagnostics(query)
 
     def predict_means(self, queries: Sequence[Query]) -> np.ndarray:
-        """Vectorised convenience wrapper over :meth:`predict_mean`."""
+        """Predict the Q1 answers of many queries via the batch fast path."""
+        return self.predict_mean_batch(queries)
+
+    def predict_mean_batch(
+        self,
+        queries: Sequence[Query] | np.ndarray,
+        norm_order: float | None = None,
+    ) -> np.ndarray:
+        """Batched Q1 prediction (Algorithm 2 as matrix arithmetic).
+
+        Parameters
+        ----------
+        queries:
+            Either a sequence of :class:`~repro.queries.query.Query` objects
+            (their own norm orders are honoured, grouped per order) or a raw
+            ``(m, d + 1)`` matrix of ``[x, theta]`` rows.
+        norm_order:
+            The Lp order used with a raw matrix; defaults to the model's
+            configured norm.  Ignored for :class:`Query` sequences.
+        """
         predictor = self._predictor()
-        return np.array([predictor.predict_mean(query) for query in queries])
+        if isinstance(queries, np.ndarray):
+            order = norm_order if norm_order is not None else self.config.norm_order
+            return predictor.predict_mean_batch(queries, norm_order=order)
+        out = np.empty(len(queries), dtype=float)
+        for order, indices, matrix in self._query_matrix_groups(queries):
+            out[indices] = predictor.predict_mean_batch(matrix, norm_order=order)
+        return out
 
     def regression_models(self, query: Query) -> list[RegressionPlane]:
         """Return the list ``S`` of local regression planes (Algorithm 3)."""
         return self._predictor().regression_models(query)
+
+    def predict_q2_batch(
+        self,
+        queries: Sequence[Query] | np.ndarray,
+        norm_order: float | None = None,
+    ) -> list[list[RegressionPlane]]:
+        """Batched Q2 prediction: the plane list of every query in one pass."""
+        predictor = self._predictor()
+        if isinstance(queries, np.ndarray):
+            order = norm_order if norm_order is not None else self.config.norm_order
+            return predictor.predict_q2_batch(queries, norm_order=order)
+        results: list[list[RegressionPlane] | None] = [None] * len(queries)
+        for order, indices, matrix in self._query_matrix_groups(queries):
+            for position, planes in zip(
+                indices, predictor.predict_q2_batch(matrix, norm_order=order)
+            ):
+                results[int(position)] = planes
+        return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _query_matrix_groups(
+        queries: Sequence[Query],
+    ) -> list[tuple[float, np.ndarray, np.ndarray]]:
+        """Group a query sequence into per-norm-order ``(m, d + 1)`` matrices."""
+        if len(queries) == 0:
+            return []
+        orders = np.array([query.norm_order for query in queries], dtype=float)
+        vectors = np.vstack([query.to_vector() for query in queries])
+        groups: list[tuple[float, np.ndarray, np.ndarray]] = []
+        for order in np.unique(orders):
+            indices = np.nonzero(orders == order)[0]
+            groups.append((float(order), indices, vectors[indices]))
+        return groups
 
     def predict_value(self, point: np.ndarray, radius: float | None = None) -> float:
         """Predict the data value ``u ≈ g(x)`` at a point (Equation 14).
@@ -301,10 +359,22 @@ class LLMModel:
         return predictor.predict_value(point, probe_radius, self.config.norm_order)
 
     def predict_values(self, points: np.ndarray, radius: float | None = None) -> np.ndarray:
-        """Vector form of :meth:`predict_value`."""
+        """Vector form of :meth:`predict_value` (delegates to the batch path)."""
+        return self.predict_value_batch(points, radius)
+
+    def predict_value_batch(
+        self, points: np.ndarray, radius: float | None = None
+    ) -> np.ndarray:
+        """Batched data-value prediction (Equation 14 as matrix arithmetic).
+
+        ``radius`` defaults to the average prototype radius, matching
+        :meth:`predict_value`.
+        """
         predictor = self._predictor()
         probe_radius = radius if radius is not None else self.average_prototype_radius()
-        return predictor.predict_values(points, probe_radius, self.config.norm_order)
+        return predictor.predict_value_batch(
+            points, probe_radius, self.config.norm_order
+        )
 
     # ------------------------------------------------------------------ #
     # diagnostics
@@ -313,7 +383,7 @@ class LLMModel:
         """Mean radius component across the prototypes."""
         if not self._fitted:
             raise NotFittedError("the model must be fitted before inspection")
-        return float(np.mean([llm.radius for llm in self._quantizer.maps]))
+        return float(np.mean(self._quantizer.parameters.prototype_view()[:, -1]))
 
     def prototype_matrix(self) -> np.ndarray:
         """The ``(K, d + 1)`` matrix of prototype vectors."""

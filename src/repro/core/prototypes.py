@@ -59,8 +59,20 @@ class RegressionPlane:
     def dimension(self) -> int:
         return int(self.slope.shape[0])
 
-    def predict(self, points: np.ndarray) -> np.ndarray:
-        """Evaluate ``intercept + slope · x`` on one or many points."""
+    def predict(self, points: np.ndarray) -> float | np.ndarray:
+        """Evaluate ``intercept + slope · x`` on one or many points.
+
+        The return type follows the input rank:
+
+        * a 1-D point of shape ``(d,)`` returns a plain Python ``float``
+          (used by scalar probes such as the value-prediction metrics);
+        * a 2-D batch of shape ``(n, d)`` returns an ``ndarray`` of shape
+          ``(n,)`` (used by the subspace evaluators, which assign the result
+          into a masked slice of a prediction vector).
+
+        Call sites that rely on one of the two shapes are tested explicitly
+        in ``tests/test_core_prototypes.py``.
+        """
         arr = np.asarray(points, dtype=float)
         if arr.ndim == 1:
             if arr.shape[0] != self.dimension:
@@ -252,6 +264,17 @@ class LocalLinearMap:
     # ------------------------------------------------------------------ #
     # in-place parameter updates (used by the SGD rules)
     # ------------------------------------------------------------------ #
+    def _attach_prototype_storage(self, row: np.ndarray) -> None:
+        """Rebind the prototype vector to a row of a shared dense matrix.
+
+        :class:`LocalModelParameters` keeps every prototype in one
+        capacity-doubling ``(K, d + 1)`` array; after attachment the LLM's
+        in-place prototype updates write straight through to that matrix, so
+        the winner-search path never has to re-stack ``K`` rows.  The row is
+        expected to already hold the current prototype values.
+        """
+        self._prototype = row
+
     def shift_prototype(self, delta: np.ndarray) -> None:
         """Add ``delta`` to the prototype vector in place."""
         self._prototype += np.asarray(delta, dtype=float).ravel()
@@ -312,11 +335,32 @@ class LocalLinearMap:
         )
 
 
+#: Initial row capacity of the dense prototype store.
+_INITIAL_CAPACITY = 8
+
+
 @dataclass
 class LocalModelParameters:
-    """The full parameter set ``alpha = {(y_k, b_k, w_k)}`` of a trained model."""
+    """The full parameter set ``alpha = {(y_k, b_k, w_k)}`` of a trained model.
+
+    The prototypes are additionally mirrored in one capacity-doubling dense
+    ``(K, d + 1)`` matrix.  Each :class:`LocalLinearMap` added here has its
+    prototype rebound to a row view of that matrix, so the SGD's in-place
+    prototype updates write through and :meth:`prototype_view` is always
+    current without re-stacking ``K`` rows — amortised O(1) maintenance per
+    training step instead of O(K) allocation.  An LLM should therefore belong
+    to at most one parameter set at a time.
+    """
 
     maps: list[LocalLinearMap] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._store: np.ndarray | None = None
+        self._maps_view: tuple[LocalLinearMap, ...] | None = None
+        initial = list(self.maps)
+        self.maps = []
+        for llm in initial:
+            self.add(llm)
 
     def __len__(self) -> int:
         return len(self.maps)
@@ -332,11 +376,30 @@ class LocalModelParameters:
         """The number of prototypes ``K``."""
         return len(self.maps)
 
+    @property
+    def maps_view(self) -> tuple[LocalLinearMap, ...]:
+        """A cached, read-only view of the LLM list.
+
+        Hot loops (winner search, predictor construction) previously paid an
+        O(K) ``list()`` copy on every access; the tuple is built once per
+        growth event instead.
+        """
+        if self._maps_view is None:
+            self._maps_view = tuple(self.maps)
+        return self._maps_view
+
     def prototype_matrix(self) -> np.ndarray:
-        """Stack all prototype vectors into a ``(K, d + 1)`` matrix."""
+        """A copy of the ``(K, d + 1)`` prototype matrix (safe to mutate)."""
+        return self.prototype_view().copy()
+
+    def prototype_view(self) -> np.ndarray:
+        """The live ``(K, d + 1)`` prototype matrix as a read-only view."""
         if not self.maps:
             return np.empty((0, 0))
-        return np.vstack([llm.prototype for llm in self.maps])
+        assert self._store is not None
+        view = self._store[: len(self.maps)]
+        view.setflags(write=False)
+        return view
 
     def add(self, llm: LocalLinearMap) -> None:
         """Append a new LLM (used when the quantizer grows)."""
@@ -344,7 +407,20 @@ class LocalModelParameters:
             raise DimensionalityMismatchError(
                 "all LLMs in a parameter set must share the same dimensionality"
             )
+        row = llm.prototype
+        count = len(self.maps)
+        if self._store is None:
+            self._store = np.empty((_INITIAL_CAPACITY, row.shape[0]), dtype=float)
+        elif count == self._store.shape[0]:
+            grown = np.empty((2 * count, row.shape[0]), dtype=float)
+            grown[:count] = self._store[:count]
+            self._store = grown
+            for index, existing in enumerate(self.maps):
+                existing._attach_prototype_storage(self._store[index])
+        self._store[count] = row
+        llm._attach_prototype_storage(self._store[count])
         self.maps.append(llm)
+        self._maps_view = None
 
     def snapshot(self) -> list[dict]:
         """Serialise every LLM (used by persistence and convergence tests)."""

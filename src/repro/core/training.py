@@ -106,17 +106,43 @@ class StreamingTrainer:
         breakdown.final_prototype_count = self.model.prototype_count
         return breakdown
 
-    def label_queries(self, queries: Iterable[Query]) -> Iterator[QueryResultPair]:
+    def label_queries(
+        self, queries: Iterable[Query], *, batch_size: int = 256
+    ) -> Iterator[QueryResultPair]:
         """Yield exact ``(query, answer)`` pairs without updating the model.
 
         Used to build held-out test workloads ``V`` with ground-truth
-        answers for the accuracy experiments.
+        answers for the accuracy experiments.  The queries are executed
+        through :meth:`~repro.dbms.executor.ExactQueryEngine.execute_q1_batch`
+        in chunks of ``batch_size``, amortising the per-query execution
+        overhead; empty subspaces are dropped (or raise, following
+        ``skip_empty_subspaces``) exactly as before.
+
+        Note the read-ahead this implies: the generator pulls up to
+        ``batch_size`` queries from the source iterable and executes them
+        *before* the first pair of the chunk is yielded.  A consumer that
+        stops early (e.g. ``itertools.islice``) still pays for the whole
+        in-flight chunk, and a shared source iterator is advanced by whole
+        chunks.  Pass ``batch_size=1`` to recover strictly lazy,
+        one-query-per-yield behaviour.
         """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        on_empty = "null" if self.skip_empty_subspaces else "raise"
+        batch: list[Query] = []
         for query in queries:
-            try:
-                answer = self.engine.execute_q1(query).mean
-            except EmptySubspaceError:
-                if self.skip_empty_subspaces:
-                    continue
-                raise
-            yield QueryResultPair(query=query, answer=answer)
+            batch.append(query)
+            if len(batch) >= batch_size:
+                yield from self._label_batch(batch, on_empty)
+                batch = []
+        if batch:
+            yield from self._label_batch(batch, on_empty)
+
+    def _label_batch(
+        self, batch: list[Query], on_empty: str
+    ) -> Iterator[QueryResultPair]:
+        answers = self.engine.execute_q1_batch(batch, on_empty=on_empty)
+        for query, answer in zip(batch, answers):
+            if answer is None:
+                continue
+            yield QueryResultPair(query=query, answer=answer.mean)

@@ -9,6 +9,9 @@ during the training phase.  This subpackage provides that substrate:
 * :class:`~repro.dbms.spatial_index.GridIndex` — a uniform-grid spatial
   index used by the exact executor to prune the dNN selection (the role
   played by the B-tree index in the paper's PostgreSQL setup),
+* :class:`~repro.dbms.spatial_index.PrototypeIndex` — the same grid idiom
+  generalised to the radius-augmented prototype space, used by the trained
+  model's predictor to prune the overlap-set computation,
 * :class:`~repro.dbms.executor.ExactQueryEngine` — the exact executor of
   Q1 (mean value) and Q2 (in-subspace OLS regression),
 * :class:`~repro.dbms.sqlfront.AnalyticsSession` — a small declarative SQL
@@ -18,7 +21,7 @@ during the training phase.  This subpackage provides that substrate:
 from .schema import ColumnSpec, TableSchema, schema_for_dataset
 from .catalog import Catalog, TableInfo
 from .storage import SQLiteDataStore
-from .spatial_index import GridIndex
+from .spatial_index import GridIndex, PrototypeIndex
 from .executor import ExactQueryEngine, ExecutionStatistics
 from .sqlfront import AnalyticsSession, ParsedStatement, parse_statement
 
@@ -30,6 +33,7 @@ __all__ = [
     "TableInfo",
     "SQLiteDataStore",
     "GridIndex",
+    "PrototypeIndex",
     "ExactQueryEngine",
     "ExecutionStatistics",
     "AnalyticsSession",

@@ -12,18 +12,24 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from ..baselines.ols import OLSRegressor
 from ..data.synthetic import SyntheticDataset
-from ..exceptions import EmptySubspaceError, StorageError
-from ..queries.geometry import pairwise_lp_distance
+from ..exceptions import ConfigurationError, EmptySubspaceError, StorageError
+from ..queries.geometry import lp_distance_matrix, pairwise_lp_distance
 from ..queries.query import Query, QueryAnswer
 from .spatial_index import GridIndex
 from .storage import SQLiteDataStore
 
 __all__ = ["ExactQueryEngine", "ExecutionStatistics"]
+
+#: Cap on the number of float64 elements of one ``(chunk, n)`` distance
+#: matrix in the unindexed batch path (~64 MiB), so peak memory stays
+#: O(chunk * n) rather than O(batch * n).
+_BATCH_SCAN_ELEMENTS = 8_388_608
 
 
 @dataclass
@@ -43,6 +49,23 @@ class ExecutionStatistics:
         self.rows_selected += selected
         self.total_seconds += seconds
         self.per_query_seconds.append(seconds)
+
+    def record_batch(
+        self, count: int, scanned: int, selected: int, seconds: float
+    ) -> None:
+        """Add one batched execution's counters.
+
+        The per-query latency of a batch is the amortised share of the batch
+        wall-clock time, so :attr:`mean_seconds` stays comparable across
+        single and batched executions.
+        """
+        if count <= 0:
+            return
+        self.queries_executed += count
+        self.rows_scanned += scanned
+        self.rows_selected += selected
+        self.total_seconds += seconds
+        self.per_query_seconds.extend([seconds / count] * count)
 
     @property
     def mean_seconds(self) -> float:
@@ -173,6 +196,102 @@ class ExactQueryEngine:
             coefficients=regressor.coefficients,
             r_squared=regressor.r_squared(inputs, outputs),
         )
+
+    def execute_q1_batch(
+        self, queries: Sequence[Query], *, on_empty: str = "raise"
+    ) -> list[QueryAnswer | None]:
+        """Execute many exact Q1 queries in one pass, amortising overheads.
+
+        With a grid index the per-query candidate lookup remains, but the
+        per-query timer, statistics and attribute-resolution overheads of
+        :meth:`select_subspace` are paid once per batch.  Without an index
+        the whole batch is answered by chunked ``(m, n)`` distance-matrix
+        arithmetic: the selection masks of every query against every row are
+        computed at once and the means follow from a single matrix product.
+
+        Parameters
+        ----------
+        queries:
+            The query batch.
+        on_empty:
+            ``"raise"`` (default) raises
+            :class:`~repro.exceptions.EmptySubspaceError` on the first query
+            selecting no rows; ``"null"`` returns ``None`` in that query's
+            slot instead, keeping the result aligned with the input.
+        """
+        if on_empty not in ("raise", "null"):
+            raise ConfigurationError(
+                f"on_empty must be 'raise' or 'null', got {on_empty!r}"
+            )
+        batch = list(queries)
+        if not batch:
+            return []
+        for query in batch:
+            if query.dimension != self.dimension:
+                raise StorageError(
+                    f"query has dimension {query.dimension} but the dataset has "
+                    f"{self.dimension}"
+                )
+        start = time.perf_counter()
+        answers: list[QueryAnswer | None] = [None] * len(batch)
+        scanned = 0
+        selected = 0
+        if self._index is not None:
+            for position, query in enumerate(batch):
+                candidate_rows = self._index.candidate_rows(
+                    query.center, query.radius
+                )
+                scanned += int(candidate_rows.size)
+                if candidate_rows.size:
+                    distances = pairwise_lp_distance(
+                        self._inputs[candidate_rows],
+                        query.center,
+                        p=query.norm_order,
+                    )
+                    rows = candidate_rows[distances <= query.radius]
+                else:
+                    rows = candidate_rows
+                selected += int(rows.size)
+                if rows.size:
+                    answers[position] = QueryAnswer(
+                        mean=float(np.mean(self._outputs[rows])),
+                        cardinality=int(rows.size),
+                    )
+        else:
+            centers = np.vstack([query.center for query in batch])
+            radii = np.array([query.radius for query in batch])
+            orders = np.array([query.norm_order for query in batch])
+            scanned = len(batch) * self.size
+            chunk = max(_BATCH_SCAN_ELEMENTS // max(self.size, 1), 1)
+            for order in np.unique(orders):
+                group = np.nonzero(orders == order)[0]
+                # Sub-chunk the group so only O(chunk * n) floats are live,
+                # keeping the batch path usable on datasets where the old
+                # per-query loop was already memory-bound.
+                for start in range(0, group.size, chunk):
+                    rows = group[start : start + chunk]
+                    distances = lp_distance_matrix(
+                        centers[rows], self._inputs, p=float(order)
+                    )
+                    masks = distances <= radii[rows, np.newaxis]
+                    counts = masks.sum(axis=1)
+                    sums = masks.astype(float) @ self._outputs
+                    selected += int(counts.sum())
+                    for position, count, total in zip(rows, counts, sums):
+                        if count:
+                            answers[int(position)] = QueryAnswer(
+                                mean=float(total / count), cardinality=int(count)
+                            )
+        elapsed = time.perf_counter() - start
+        self.statistics.record_batch(len(batch), scanned, selected, elapsed)
+        if on_empty == "raise":
+            for position, answer in enumerate(answers):
+                if answer is None:
+                    raise EmptySubspaceError(
+                        f"query {batch[position]!r} selected no rows; its Q1 "
+                        "answer is undefined"
+                    )
+        return answers
 
     def mean_value(self, query: Query) -> float:
         """Convenience oracle used by training streams: the Q1 scalar answer."""

@@ -21,7 +21,7 @@ import numpy as np
 from ..exceptions import ConfigurationError, DimensionalityMismatchError
 from ..queries.geometry import pairwise_lp_distance
 
-__all__ = ["GridIndex"]
+__all__ = ["GridIndex", "PrototypeIndex"]
 
 
 class GridIndex:
@@ -156,3 +156,79 @@ class GridIndex:
         """Return the fraction of indexed rows selected by a ball query."""
         selected = self.query_ball(center, radius, p=p)
         return float(selected.size) / float(self._count)
+
+
+class PrototypeIndex:
+    """Pruning index over the radius-augmented prototype space.
+
+    The query-processing algorithms need the overlap set
+    ``W(q) = { w_k : delta(q, w_k) > 0 }``, and a prototype ``w_k = [x_k,
+    theta_k]`` can only overlap a query ``q = [x, theta]`` when
+    ``||x - x_k||_p <= theta + theta_k``.  Every member of ``W(q)`` therefore
+    lies within ``theta + max_k theta_k`` of the query center, so a
+    :class:`GridIndex` over the prototype *centers*, probed with that
+    inflated radius, yields a small candidate superset of ``W(q)`` — the
+    exact degree test then runs over candidates only, making single-query
+    neighbourhood construction sublinear in ``K`` for localised workloads.
+
+    The bounding box used by the grid contains the Lp ball for every
+    ``p >= 1`` (the L-infinity box is the largest), so the candidate set is a
+    superset of the overlap set under any norm order.
+
+    Parameters
+    ----------
+    prototypes:
+        The ``(K, d + 1)`` matrix of prototype vectors ``[x_k, theta_k]``.
+    cells_per_dimension:
+        Grid resolution; defaults to a few prototypes per cell (prototype
+        sets are much smaller than datasets, so the grid is denser than the
+        executor's default).
+    """
+
+    def __init__(
+        self,
+        prototypes: np.ndarray,
+        cells_per_dimension: int | None = None,
+    ) -> None:
+        protos = np.atleast_2d(np.asarray(prototypes, dtype=float))
+        if protos.shape[0] == 0:
+            raise ConfigurationError("cannot index zero prototypes")
+        if protos.shape[1] < 2:
+            raise ConfigurationError(
+                "prototypes need at least a center component and a radius, "
+                f"got width {protos.shape[1]}"
+            )
+        centers = protos[:, :-1]
+        radii = protos[:, -1]
+        self._max_radius = float(max(radii.max(), 0.0))
+        if cells_per_dimension is None:
+            # Target ~4 prototypes per cell: cells^d ≈ K / 4.
+            dimension = centers.shape[1]
+            target_cells = max(protos.shape[0] / 4.0, 1.0)
+            cells_per_dimension = max(
+                int(round(target_cells ** (1.0 / dimension))), 1
+            )
+            cells_per_dimension = min(cells_per_dimension, 64)
+        self._grid = GridIndex(centers, cells_per_dimension=cells_per_dimension)
+
+    @property
+    def size(self) -> int:
+        """Number of indexed prototypes ``K``."""
+        return self._grid.size
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality ``d`` of the data (center) space."""
+        return self._grid.dimension
+
+    @property
+    def max_radius(self) -> float:
+        """The largest prototype radius (the pruning-bound inflation)."""
+        return self._max_radius
+
+    def candidates(self, center: np.ndarray, radius: float) -> np.ndarray:
+        """Return a sorted candidate superset of the overlap set ``W(q)``."""
+        if radius < 0 or not math.isfinite(radius):
+            raise ConfigurationError(f"radius must be finite and >= 0, got {radius}")
+        reach = float(radius) + self._max_radius
+        return np.sort(self._grid.candidate_rows(center, reach))

@@ -7,7 +7,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-__all__ = ["Stopwatch", "measure_mean_latency"]
+__all__ = ["Stopwatch", "measure_mean_latency", "measure_throughput"]
 
 
 class Stopwatch:
@@ -60,4 +60,34 @@ def measure_mean_latency(
         "median_ms": float(np.median(latencies_ms)),
         "total_seconds": float(np.sum(latencies_ms) / 1000.0),
         "count": float(latencies_ms.size),
+    }
+
+
+def measure_throughput(
+    operation: Callable[[], object],
+    item_count: int,
+    *,
+    repetitions: int = 3,
+) -> dict[str, float]:
+    """Measure the throughput of a batch operation over ``item_count`` items.
+
+    ``operation`` is a no-argument callable processing the whole batch (for
+    example ``lambda: model.predict_mean_batch(matrix)``).  It is run
+    ``repetitions`` times and the best wall-clock time is reported, which is
+    the standard way to suppress scheduler noise for sub-second operations.
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    if item_count < 1:
+        raise ValueError(f"item_count must be >= 1, got {item_count}")
+    best = float("inf")
+    for _ in range(repetitions):
+        started = time.perf_counter()
+        operation()
+        best = min(best, time.perf_counter() - started)
+    return {
+        "best_seconds": best,
+        "items_per_second": item_count / best if best > 0 else float("inf"),
+        "mean_latency_ms": best / item_count * 1000.0,
+        "count": float(item_count),
     }

@@ -8,10 +8,12 @@ random query workloads used in the evaluation (Section VI-A).
 
 from .geometry import (
     lp_distance,
+    lp_distance_matrix,
     lp_norm,
     ball_volume,
     balls_overlap,
     overlap_degree,
+    overlap_degree_matrix,
     pairwise_lp_distance,
     points_within_ball,
 )
@@ -27,10 +29,12 @@ from .stream import QueryAnswerStream, LabelledWorkload
 
 __all__ = [
     "lp_distance",
+    "lp_distance_matrix",
     "lp_norm",
     "ball_volume",
     "balls_overlap",
     "overlap_degree",
+    "overlap_degree_matrix",
     "pairwise_lp_distance",
     "points_within_ball",
     "Query",

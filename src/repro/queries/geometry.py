@@ -21,11 +21,17 @@ __all__ = [
     "lp_norm",
     "lp_distance",
     "pairwise_lp_distance",
+    "lp_distance_matrix",
     "points_within_ball",
     "ball_volume",
     "balls_overlap",
     "overlap_degree",
+    "overlap_degree_matrix",
 ]
+
+#: Cap on the number of float64 elements materialised by one chunk of the
+#: pairwise-difference tensor in :func:`lp_distance_matrix` (~128 MiB).
+_BATCH_CHUNK_ELEMENTS = 16_777_216
 
 
 def _as_vector(x: np.ndarray | list | tuple, name: str) -> np.ndarray:
@@ -88,6 +94,51 @@ def pairwise_lp_distance(points: np.ndarray, center: np.ndarray, p: float = 2.0)
     if p == 1.0:
         return np.sum(np.abs(diff), axis=1)
     return np.power(np.sum(np.power(np.abs(diff), p), axis=1), 1.0 / p)
+
+
+def lp_distance_matrix(
+    points_a: np.ndarray, points_b: np.ndarray, p: float = 2.0
+) -> np.ndarray:
+    """Return the ``(m, k)`` Lp distance matrix between two point sets.
+
+    Parameters
+    ----------
+    points_a:
+        Array of shape ``(m, d)`` (e.g. query centers).
+    points_b:
+        Array of shape ``(k, d)`` (e.g. prototype centers).
+    p:
+        Norm order; ``numpy.inf`` selects the Chebyshev distance.
+
+    The computation is chunked over the rows of ``points_a`` so the
+    ``(chunk, k, d)`` difference tensor stays within a fixed memory budget,
+    and uses the same elementwise formulation as
+    :func:`pairwise_lp_distance` so single-query and batched callers agree
+    to floating-point rounding.
+    """
+    a = np.atleast_2d(np.asarray(points_a, dtype=float))
+    b = np.atleast_2d(np.asarray(points_b, dtype=float))
+    if a.shape[1] != b.shape[1]:
+        raise DimensionalityMismatchError(
+            f"point sets have different dimensions: {a.shape[1]} vs {b.shape[1]}"
+        )
+    m, d = a.shape
+    k = b.shape[0]
+    out = np.empty((m, k), dtype=float)
+    chunk = max(_BATCH_CHUNK_ELEMENTS // max(k * d, 1), 1)
+    for start in range(0, m, chunk):
+        diff = a[start : start + chunk, np.newaxis, :] - b[np.newaxis, :, :]
+        if math.isinf(p):
+            out[start : start + chunk] = np.max(np.abs(diff), axis=2)
+        elif p == 2.0:
+            out[start : start + chunk] = np.sqrt(np.sum(diff * diff, axis=2))
+        elif p == 1.0:
+            out[start : start + chunk] = np.sum(np.abs(diff), axis=2)
+        else:
+            out[start : start + chunk] = np.power(
+                np.sum(np.power(np.abs(diff), p), axis=2), 1.0 / p
+            )
+    return out
 
 
 def points_within_ball(
@@ -164,3 +215,43 @@ def overlap_degree(
     degree = 1.0 - numerator / total
     # Guard against tiny negative values from floating point noise.
     return float(min(1.0, max(0.0, degree)))
+
+
+def overlap_degree_matrix(
+    centers_a: np.ndarray,
+    radii_a: np.ndarray,
+    centers_b: np.ndarray,
+    radii_b: np.ndarray,
+    p: float = 2.0,
+) -> np.ndarray:
+    """Return the ``(m, k)`` degree-of-overlap matrix (vectorised Equation 9).
+
+    Entry ``(i, j)`` is ``delta(q_i, w_j)`` between ball ``i`` of the first
+    family (``centers_a`` of shape ``(m, d)``, ``radii_a`` of shape ``(m,)``)
+    and ball ``j`` of the second (``(k, d)`` and ``(k,)``).  This is the
+    batched form of :func:`overlap_degree` that the query-processing engine
+    uses to compute every overlap set ``W(q)`` of a query batch in one pass:
+    no per-query Python loop, just ``(m, k)``-shaped array arithmetic.
+
+    Pairs whose radius sum is non-positive get degree ``0`` (the predictor's
+    convention for degenerate prototypes); disjoint pairs get ``0``; the
+    result is clipped to ``[0, 1]``.
+    """
+    radii_a = np.asarray(radii_a, dtype=float).ravel()
+    radii_b = np.asarray(radii_b, dtype=float).ravel()
+    distances = lp_distance_matrix(centers_a, centers_b, p=p)
+    if distances.shape != (radii_a.shape[0], radii_b.shape[0]):
+        raise DimensionalityMismatchError(
+            f"radii shapes {radii_a.shape}/{radii_b.shape} do not match the "
+            f"{distances.shape} center-distance matrix"
+        )
+    totals = radii_a[:, np.newaxis] + radii_b[np.newaxis, :]
+    overlapping = distances <= totals
+    numerators = np.maximum(
+        distances, np.abs(radii_a[:, np.newaxis] - radii_b[np.newaxis, :])
+    )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        degrees = np.where(totals > 0, 1.0 - numerators / totals, 0.0)
+    degrees = np.clip(degrees, 0.0, 1.0)
+    degrees[~overlapping] = 0.0
+    return degrees

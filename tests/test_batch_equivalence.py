@@ -1,0 +1,374 @@
+"""Equivalence suite: batch query processing vs the single-query path.
+
+The batch engine (``predict_mean_batch`` / ``predict_q2_batch`` /
+``predict_value_batch``) computes the full ``(m, K)`` overlap-degree matrix
+and the weighted LLM evaluations as matrix operations.  These tests assert
+that the batched answers agree with the per-query path to within 1e-12
+across dimensions d in {1, 2, 6}, including the zero-overlap extrapolation
+branch and the (defensive) all-degrees-zero uniform-weight branch, and that
+the prototype-pruning index never changes a single-query answer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig, TrainingConfig
+from repro.core.model import LLMModel
+from repro.core.prediction import (
+    NeighborhoodPredictor,
+    normalized_overlap_weights,
+    normalized_weight_rows,
+)
+from repro.core.prototypes import LocalLinearMap
+from repro.exceptions import DimensionalityMismatchError, InvalidQueryError
+from repro.queries.geometry import overlap_degree, overlap_degree_matrix
+from repro.queries.query import Query
+
+DIMENSIONS = (1, 2, 6)
+TOLERANCE = 1e-12
+
+
+def _synthetic_maps(dimension: int, count: int = 40, seed: int = 5) -> list[LocalLinearMap]:
+    rng = np.random.default_rng(seed)
+    maps = []
+    for _ in range(count):
+        center = rng.uniform(0.0, 1.0, size=dimension)
+        radius = rng.uniform(0.05, 0.3)
+        prototype = np.concatenate([center, [radius]])
+        slope = rng.normal(0.0, 1.0, size=dimension + 1)
+        maps.append(
+            LocalLinearMap(
+                prototype=prototype,
+                mean_output=float(rng.normal(0.0, 2.0)),
+                slope=slope,
+            )
+        )
+    return maps
+
+
+def _mixed_queries(dimension: int, count: int = 60, seed: int = 11) -> list[Query]:
+    """Queries inside the prototype cloud plus far-away extrapolation probes."""
+    rng = np.random.default_rng(seed)
+    queries = []
+    for index in range(count):
+        if index % 7 == 0:
+            # Far outside [0, 1]^d with a tiny radius: empty overlap set.
+            center = rng.uniform(8.0, 9.0, size=dimension)
+            radius = 0.01
+        else:
+            center = rng.uniform(0.0, 1.0, size=dimension)
+            radius = float(rng.uniform(0.02, 0.4))
+        queries.append(Query(center=center, radius=radius))
+    return queries
+
+
+@pytest.fixture(params=DIMENSIONS, scope="module")
+def setup(request):
+    dimension = request.param
+    maps = _synthetic_maps(dimension)
+    predictor = NeighborhoodPredictor(maps, use_pruning_index=False)
+    queries = _mixed_queries(dimension)
+    matrix = np.vstack([query.to_vector() for query in queries])
+    return dimension, maps, predictor, queries, matrix
+
+
+class TestOverlapDegreeMatrix:
+    def test_matches_scalar_overlap_degree(self, setup):
+        dimension, maps, predictor, queries, matrix = setup
+        degrees = overlap_degree_matrix(
+            matrix[:, :-1],
+            matrix[:, -1],
+            predictor._prototypes[:, :-1],
+            predictor._prototypes[:, -1],
+        )
+        for i, query in enumerate(queries[:10]):
+            for k, llm in enumerate(maps):
+                expected = overlap_degree(
+                    query.center, query.radius, llm.center, llm.radius
+                )
+                assert degrees[i, k] == pytest.approx(expected, abs=TOLERANCE)
+
+    @pytest.mark.parametrize("p", [1.0, 2.0, 3.0, np.inf])
+    def test_norm_orders(self, setup, p):
+        dimension, maps, _, _, _ = setup
+        rng = np.random.default_rng(3)
+        centers = rng.uniform(0, 1, size=(5, dimension))
+        radii = rng.uniform(0.05, 0.5, size=5)
+        protos = np.vstack([llm.prototype for llm in maps])
+        degrees = overlap_degree_matrix(centers, radii, protos[:, :-1], protos[:, -1], p=p)
+        for i in range(5):
+            for k, llm in enumerate(maps):
+                expected = overlap_degree(
+                    centers[i], radii[i], llm.center, llm.radius, p=p
+                )
+                assert degrees[i, k] == pytest.approx(expected, abs=TOLERANCE)
+
+
+class TestQ1Equivalence:
+    def test_batch_matches_single(self, setup):
+        _, _, predictor, queries, matrix = setup
+        batch = predictor.predict_mean_batch(matrix)
+        single = np.array([predictor.predict_mean(query) for query in queries])
+        assert batch.shape == single.shape
+        np.testing.assert_allclose(batch, single, rtol=0.0, atol=TOLERANCE)
+
+    def test_extrapolation_branch_is_exercised(self, setup):
+        _, _, predictor, queries, _ = setup
+        flags = [
+            predictor.predict_mean_with_diagnostics(query)[1].extrapolated
+            for query in queries
+        ]
+        assert any(flags) and not all(flags)
+
+    def test_batch_reports_extrapolated_rows(self, setup):
+        _, _, predictor, queries, matrix = setup
+        _, extrapolated = predictor._batch_neighborhood(matrix, norm_order=2.0)
+        expected = np.array(
+            [
+                predictor.predict_mean_with_diagnostics(query)[1].extrapolated
+                for query in queries
+            ]
+        )
+        np.testing.assert_array_equal(extrapolated, expected)
+
+
+class TestQ2Equivalence:
+    def test_batch_planes_match_single(self, setup):
+        _, _, predictor, queries, matrix = setup
+        batch = predictor.predict_q2_batch(matrix)
+        assert len(batch) == len(queries)
+        for planes, query in zip(batch, queries):
+            expected = predictor.regression_models(query)
+            assert len(planes) == len(expected)
+            for plane, reference in zip(planes, expected):
+                assert plane.weight == pytest.approx(reference.weight, abs=TOLERANCE)
+                assert plane.intercept == pytest.approx(
+                    reference.intercept, abs=TOLERANCE
+                )
+                np.testing.assert_allclose(
+                    plane.slope, reference.slope, rtol=0.0, atol=TOLERANCE
+                )
+
+
+class TestValuePredictionEquivalence:
+    def test_batch_matches_single(self, setup):
+        dimension, _, predictor, _, _ = setup
+        rng = np.random.default_rng(23)
+        points = np.vstack(
+            [
+                rng.uniform(0.0, 1.0, size=(30, dimension)),
+                rng.uniform(7.0, 8.0, size=(5, dimension)),  # extrapolation
+            ]
+        )
+        radius = 0.15
+        batch = predictor.predict_value_batch(points, radius)
+        single = np.array(
+            [predictor.predict_value(point, radius) for point in points]
+        )
+        np.testing.assert_allclose(batch, single, rtol=0.0, atol=TOLERANCE)
+
+
+class TestPruningIndexEquivalence:
+    def test_pruned_single_query_matches_full_scan(self, setup):
+        _, maps, predictor, queries, _ = setup
+        pruned = NeighborhoodPredictor(maps, use_pruning_index=True)
+        assert pruned.uses_pruning_index
+        for query in queries:
+            assert pruned.predict_mean(query) == pytest.approx(
+                predictor.predict_mean(query), abs=TOLERANCE
+            )
+            _, diag_pruned = pruned.predict_mean_with_diagnostics(query)
+            _, diag_full = predictor.predict_mean_with_diagnostics(query)
+            assert diag_pruned.used_indices == diag_full.used_indices
+            assert diag_pruned.extrapolated == diag_full.extrapolated
+
+    def test_auto_threshold(self):
+        from repro.core.prediction import DEFAULT_PRUNING_THRESHOLD
+
+        maps = _synthetic_maps(2, count=100)
+        # Below the crossover the dense scan wins; pruning must be off by
+        # default but available on request.
+        assert DEFAULT_PRUNING_THRESHOLD > 100
+        assert not NeighborhoodPredictor(maps).uses_pruning_index
+        assert NeighborhoodPredictor(
+            maps, use_pruning_index=True
+        ).uses_pruning_index
+
+
+class TestWeightNormalisation:
+    def test_rows_match_scalar_helper(self):
+        degrees = np.array([[0.5, 0.0, 0.25], [0.0, 0.0, 0.0], [0.1, 0.1, 0.0]])
+        weights, extrapolated = normalized_weight_rows(degrees)
+        for row_index in range(degrees.shape[0]):
+            overlaps = [
+                (k, float(degrees[row_index, k]))
+                for k in range(degrees.shape[1])
+                if degrees[row_index, k] > 0.0
+            ]
+            expected = dict(normalized_overlap_weights(overlaps))
+            for k in range(degrees.shape[1]):
+                assert weights[row_index, k] == pytest.approx(
+                    expected.get(k, 0.0), abs=TOLERANCE
+                )
+        np.testing.assert_array_equal(extrapolated, [False, True, False])
+
+    def test_all_degrees_zero_uniform_branch(self):
+        # Just-touching balls have overlap flagged but degree zero; both the
+        # scalar helper and the batched helper fall back to uniform weights.
+        degrees = np.array([[0.0, 0.0, 0.0, 0.0]])
+        mask = np.array([[True, False, True, False]])
+        weights, extrapolated = normalized_weight_rows(degrees, overlap_mask=mask)
+        scalar = dict(normalized_overlap_weights([(0, 0.0), (2, 0.0)]))
+        assert not extrapolated[0]
+        np.testing.assert_allclose(weights[0], [0.5, 0.0, 0.5, 0.0], atol=TOLERANCE)
+        assert scalar == {0: 0.5, 2: 0.5}
+
+    def test_mask_shape_mismatch(self):
+        with pytest.raises(DimensionalityMismatchError):
+            normalized_weight_rows(np.zeros((2, 3)), overlap_mask=np.zeros((2, 2), bool))
+
+
+class TestModelBatchAPI:
+    @pytest.fixture(scope="class")
+    def trained(self) -> LLMModel:
+        rng = np.random.default_rng(2)
+        model = LLMModel(
+            dimension=2,
+            config=ModelConfig(quantization_coefficient=0.1),
+            training=TrainingConfig(convergence_threshold=1e-6),
+        )
+        for _ in range(600):
+            center = rng.uniform(0, 1, size=2)
+            query = Query(center=center, radius=float(rng.uniform(0.05, 0.2)))
+            model.partial_fit(query, float(center[0] + 2 * center[1]))
+        return model
+
+    def test_predict_mean_batch_matches_loop(self, trained):
+        queries = _mixed_queries(2, count=40, seed=31)
+        batch = trained.predict_mean_batch(queries)
+        single = np.array([trained.predict_mean(query) for query in queries])
+        np.testing.assert_allclose(batch, single, rtol=0.0, atol=TOLERANCE)
+
+    def test_predict_means_delegates_to_batch(self, trained):
+        queries = _mixed_queries(2, count=10, seed=37)
+        np.testing.assert_allclose(
+            trained.predict_means(queries),
+            trained.predict_mean_batch(queries),
+            rtol=0.0,
+            atol=0.0,
+        )
+
+    def test_heterogeneous_norm_orders(self, trained):
+        rng = np.random.default_rng(41)
+        queries = [
+            Query(
+                center=rng.uniform(0, 1, size=2),
+                radius=float(rng.uniform(0.05, 0.3)),
+                norm_order=order,
+            )
+            for order in (1.0, 2.0, np.inf, 2.0, 1.0, 3.0)
+        ]
+        batch = trained.predict_mean_batch(queries)
+        single = np.array([trained.predict_mean(query) for query in queries])
+        np.testing.assert_allclose(batch, single, rtol=0.0, atol=TOLERANCE)
+
+    def test_q2_batch_matches_loop(self, trained):
+        queries = _mixed_queries(2, count=15, seed=43)
+        batch = trained.predict_q2_batch(queries)
+        for planes, query in zip(batch, queries):
+            expected = trained.regression_models(query)
+            assert len(planes) == len(expected)
+            for plane, reference in zip(planes, expected):
+                assert plane.weight == pytest.approx(reference.weight, abs=TOLERANCE)
+
+    def test_value_batch_matches_loop(self, trained):
+        rng = np.random.default_rng(47)
+        points = rng.uniform(0, 1, size=(20, 2))
+        batch = trained.predict_value_batch(points, 0.1)
+        single = np.array([trained.predict_value(p, 0.1) for p in points])
+        np.testing.assert_allclose(batch, single, rtol=0.0, atol=TOLERANCE)
+
+    def test_raw_matrix_input(self, trained):
+        queries = _mixed_queries(2, count=8, seed=53)
+        matrix = np.vstack([query.to_vector() for query in queries])
+        np.testing.assert_allclose(
+            trained.predict_mean_batch(matrix),
+            trained.predict_mean_batch(queries),
+            rtol=0.0,
+            atol=TOLERANCE,
+        )
+
+    def test_empty_batch(self, trained):
+        assert trained.predict_mean_batch([]).shape == (0,)
+
+    def test_invalid_matrix_rejected(self, trained):
+        with pytest.raises(InvalidQueryError):
+            trained.predict_mean_batch(np.array([[0.5, 0.5, -0.1]]))
+        with pytest.raises(DimensionalityMismatchError):
+            trained.predict_mean_batch(np.array([[0.5, 0.5]]))
+
+
+class TestExecutorBatchEquivalence:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        from repro.data.synthetic import SyntheticDataset
+        from repro.dbms.executor import ExactQueryEngine
+
+        rng = np.random.default_rng(7)
+        inputs = rng.uniform(0, 1, size=(4_000, 2))
+        outputs = 1.0 + inputs[:, 0] - 2.0 * inputs[:, 1]
+        dataset = SyntheticDataset(
+            inputs=inputs, outputs=outputs, name="batch2d", domain=(0.0, 1.0)
+        )
+        return dataset, ExactQueryEngine(dataset)
+
+    def test_batch_matches_single_indexed(self, engine):
+        _, indexed = engine
+        queries = _mixed_queries(2, count=20, seed=61)
+        answers = indexed.execute_q1_batch(queries, on_empty="null")
+        for query, answer in zip(queries, answers):
+            try:
+                expected = indexed.execute_q1(query)
+            except Exception:
+                assert answer is None
+                continue
+            assert answer is not None
+            assert answer.mean == pytest.approx(expected.mean, abs=1e-12)
+            assert answer.cardinality == expected.cardinality
+
+    def test_batch_matches_single_full_scan(self, engine):
+        from repro.dbms.executor import ExactQueryEngine
+
+        dataset, _ = engine
+        scan = ExactQueryEngine(dataset, use_index=False)
+        queries = [
+            Query(center=np.array([0.5, 0.5]), radius=0.2),
+            Query(center=np.array([0.2, 0.8]), radius=0.3, norm_order=1.0),
+            Query(center=np.array([0.7, 0.3]), radius=0.25, norm_order=np.inf),
+        ]
+        answers = scan.execute_q1_batch(queries)
+        for query, answer in zip(queries, answers):
+            expected = scan.execute_q1(query)
+            assert answer.mean == pytest.approx(expected.mean, rel=1e-12)
+            assert answer.cardinality == expected.cardinality
+
+    def test_full_scan_sub_chunking(self, engine, monkeypatch):
+        # Force a tiny memory budget so the batch is processed in several
+        # (chunk, n) slices; results must be unchanged.
+        import repro.dbms.executor as executor_module
+        from repro.dbms.executor import ExactQueryEngine
+
+        dataset, _ = engine
+        scan = ExactQueryEngine(dataset, use_index=False)
+        queries = _mixed_queries(2, count=12, seed=67)
+        expected = scan.execute_q1_batch(queries, on_empty="null")
+        monkeypatch.setattr(executor_module, "_BATCH_SCAN_ELEMENTS", 1)
+        chunked = scan.execute_q1_batch(queries, on_empty="null")
+        for left, right in zip(expected, chunked):
+            if left is None:
+                assert right is None
+                continue
+            assert right.mean == pytest.approx(left.mean, rel=1e-12)
+            assert right.cardinality == left.cardinality

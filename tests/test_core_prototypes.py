@@ -171,3 +171,94 @@ class TestLocalModelParameters:
 
     def test_empty_matrix(self):
         assert LocalModelParameters().prototype_matrix().size == 0
+
+    def test_dense_store_write_through(self):
+        # SGD shifts a prototype in place; the shared dense matrix must see
+        # the update without any re-stacking.
+        params = LocalModelParameters()
+        llm = LocalLinearMap(prototype=np.array([0.0, 0.0, 0.1]))
+        params.add(llm)
+        llm.shift_prototype(np.array([0.5, -0.5, 0.0]))
+        assert np.allclose(params.prototype_view()[0], [0.5, -0.5, 0.1])
+        assert np.allclose(params.prototype_matrix()[0], [0.5, -0.5, 0.1])
+
+    def test_capacity_doubling_preserves_write_through(self):
+        params = LocalModelParameters()
+        maps = [
+            LocalLinearMap(prototype=np.array([float(i), 0.0, 0.1]))
+            for i in range(20)  # forces several capacity doublings
+        ]
+        for llm in maps:
+            params.add(llm)
+        maps[0].shift_prototype(np.array([0.25, 0.0, 0.0]))
+        maps[-1].shift_prototype(np.array([-0.25, 0.0, 0.0]))
+        view = params.prototype_view()
+        assert view.shape == (20, 3)
+        assert view[0, 0] == pytest.approx(0.25)
+        assert view[-1, 0] == pytest.approx(19.0 - 0.25)
+
+    def test_prototype_view_is_read_only(self):
+        params = LocalModelParameters()
+        params.add(LocalLinearMap(prototype=np.array([0.0, 0.1])))
+        view = params.prototype_view()
+        with pytest.raises(ValueError):
+            view[0, 0] = 1.0
+
+    def test_prototype_matrix_is_an_independent_copy(self):
+        params = LocalModelParameters()
+        llm = LocalLinearMap(prototype=np.array([0.0, 0.1]))
+        params.add(llm)
+        matrix = params.prototype_matrix()
+        llm.shift_prototype(np.array([1.0, 0.0]))
+        assert matrix[0, 0] == pytest.approx(0.0)
+
+    def test_maps_view_is_cached_until_growth(self):
+        params = LocalModelParameters()
+        params.add(LocalLinearMap(prototype=np.array([0.0, 0.1])))
+        first = params.maps_view
+        assert params.maps_view is first
+        params.add(LocalLinearMap(prototype=np.array([1.0, 0.1])))
+        second = params.maps_view
+        assert second is not first
+        assert len(second) == 2
+
+    def test_construction_from_existing_maps(self):
+        maps = [
+            LocalLinearMap(prototype=np.array([0.0, 0.1])),
+            LocalLinearMap(prototype=np.array([1.0, 0.2])),
+        ]
+        params = LocalModelParameters(maps=maps)
+        assert params.prototype_matrix().shape == (2, 2)
+        maps[0].shift_prototype(np.array([0.5, 0.0]))
+        assert params.prototype_view()[0, 0] == pytest.approx(0.5)
+
+
+class TestRegressionPlanePredictShapes:
+    """The return type of RegressionPlane.predict follows the input rank."""
+
+    def _plane(self) -> RegressionPlane:
+        return RegressionPlane(
+            intercept=1.0,
+            slope=np.array([2.0, -1.0]),
+            prototype_center=np.array([0.5, 0.5]),
+            prototype_radius=0.1,
+        )
+
+    def test_single_point_returns_python_float(self):
+        # Scalar probes (e.g. the value-prediction metrics) rely on a plain
+        # float coming back for 1-D input.
+        value = self._plane().predict(np.array([1.0, 1.0]))
+        assert isinstance(value, float)
+        assert value == pytest.approx(2.0)
+
+    def test_point_batch_returns_vector(self):
+        # The subspace evaluators assign the result into a masked slice of a
+        # prediction vector and rely on an (n,)-shaped array for 2-D input.
+        points = np.array([[1.0, 1.0], [0.0, 0.0], [0.5, 0.5]])
+        values = self._plane().predict(points)
+        assert isinstance(values, np.ndarray)
+        assert values.shape == (3,)
+        out = np.empty(3)
+        mask = np.array([True, False, True])
+        out[mask] = self._plane().predict(points[mask])
+        assert out[0] == pytest.approx(2.0)

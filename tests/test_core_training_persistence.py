@@ -87,6 +87,24 @@ class TestStreamingTrainer:
         for pair in pairs:
             assert pair.answer == pytest.approx(engine.execute_q1(pair.query).mean)
 
+    def test_label_queries_batches_transparently(self, engine, workload_queries):
+        model = LLMModel(dimension=2)
+        trainer = StreamingTrainer(model, engine)
+        # A batch size smaller than the stream forces several batch flushes;
+        # the yielded pairs must be identical to the unbatched protocol.
+        pairs = list(trainer.label_queries(workload_queries[:10], batch_size=3))
+        assert [pair.query for pair in pairs] == list(workload_queries[:10])
+        with pytest.raises(ValueError):
+            list(trainer.label_queries(workload_queries[:2], batch_size=0))
+
+    def test_label_queries_drops_empty_subspaces(self, engine, workload_queries):
+        model = LLMModel(dimension=2)
+        trainer = StreamingTrainer(model, engine)
+        outside = Query(center=np.array([7.0, 7.0]), radius=0.01)
+        stream = [workload_queries[0], outside, workload_queries[1]]
+        pairs = list(trainer.label_queries(stream))
+        assert [pair.query for pair in pairs] == [workload_queries[0], workload_queries[1]]
+
 
 class TestPersistence:
     def _trained_model(self) -> LLMModel:

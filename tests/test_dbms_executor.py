@@ -93,6 +93,54 @@ class TestQ2:
         assert np.allclose(answer.coefficients, direct.coefficients)
 
 
+class TestQ1Batch:
+    def test_on_empty_raise(self, engine):
+        queries = [
+            Query(center=np.array([0.5, 0.5]), radius=0.2),
+            Query(center=np.array([5.0, 5.0]), radius=0.01),
+        ]
+        with pytest.raises(EmptySubspaceError):
+            engine.execute_q1_batch(queries)
+
+    def test_on_empty_null_keeps_alignment(self, engine):
+        queries = [
+            Query(center=np.array([0.5, 0.5]), radius=0.2),
+            Query(center=np.array([5.0, 5.0]), radius=0.01),
+            Query(center=np.array([0.3, 0.3]), radius=0.2),
+        ]
+        answers = engine.execute_q1_batch(queries, on_empty="null")
+        assert len(answers) == 3
+        assert answers[0] is not None and answers[2] is not None
+        assert answers[1] is None
+
+    def test_invalid_on_empty(self, engine):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            engine.execute_q1_batch([], on_empty="skip")
+
+    def test_empty_batch(self, engine):
+        assert engine.execute_q1_batch([]) == []
+
+    def test_dimension_mismatch(self, engine):
+        with pytest.raises(StorageError):
+            engine.execute_q1_batch([Query(center=np.array([0.5]), radius=0.1)])
+
+    def test_batch_statistics_are_amortised(self, linear_dataset):
+        engine = ExactQueryEngine(linear_dataset)
+        queries = [
+            Query(center=np.array([0.5, 0.5]), radius=0.2),
+            Query(center=np.array([0.4, 0.4]), radius=0.2),
+            Query(center=np.array([0.6, 0.6]), radius=0.2),
+        ]
+        engine.execute_q1_batch(queries)
+        stats = engine.statistics
+        assert stats.queries_executed == 3
+        assert len(stats.per_query_seconds) == 3
+        assert stats.mean_seconds > 0.0
+        assert stats.total_seconds == pytest.approx(sum(stats.per_query_seconds))
+
+
 class TestStatistics:
     def test_statistics_accumulate(self, linear_dataset):
         engine = ExactQueryEngine(linear_dataset)

@@ -5,9 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.dbms.spatial_index import GridIndex
+from repro.dbms.spatial_index import GridIndex, PrototypeIndex
 from repro.exceptions import ConfigurationError, DimensionalityMismatchError
-from repro.queries.geometry import pairwise_lp_distance
+from repro.queries.geometry import overlap_degree, pairwise_lp_distance
 
 
 @pytest.fixture(scope="module")
@@ -102,3 +102,55 @@ class TestHigherDimensions:
         expected = np.nonzero(pairwise_lp_distance(pts, center) <= radius)[0]
         actual = index.query_ball(center, radius)
         assert set(actual.tolist()) == set(expected.tolist())
+
+
+class TestPrototypeIndex:
+    @pytest.fixture(scope="class")
+    def prototypes(self) -> np.ndarray:
+        rng = np.random.default_rng(9)
+        centers = rng.uniform(0, 1, size=(300, 2))
+        radii = rng.uniform(0.02, 0.25, size=(300, 1))
+        return np.hstack([centers, radii])
+
+    def test_properties(self, prototypes):
+        index = PrototypeIndex(prototypes)
+        assert index.size == 300
+        assert index.dimension == 2
+        assert index.max_radius == pytest.approx(prototypes[:, -1].max())
+
+    @pytest.mark.parametrize("p", [1.0, 2.0, np.inf])
+    def test_candidates_are_a_superset_of_the_overlap_set(self, prototypes, p):
+        index = PrototypeIndex(prototypes)
+        rng = np.random.default_rng(13)
+        for _ in range(50):
+            center = rng.uniform(-0.2, 1.2, size=2)
+            radius = float(rng.uniform(0.01, 0.3))
+            candidates = set(index.candidates(center, radius).tolist())
+            overlap_set = {
+                k
+                for k in range(prototypes.shape[0])
+                if overlap_degree(
+                    center, radius, prototypes[k, :-1], prototypes[k, -1], p=p
+                )
+                > 0.0
+            }
+            assert overlap_set <= candidates
+
+    def test_candidates_prune_most_prototypes(self, prototypes):
+        index = PrototypeIndex(prototypes)
+        candidates = index.candidates(np.array([0.5, 0.5]), 0.05)
+        assert 0 < candidates.size < prototypes.shape[0]
+
+    def test_candidates_are_sorted(self, prototypes):
+        index = PrototypeIndex(prototypes)
+        candidates = index.candidates(np.array([0.3, 0.7]), 0.1)
+        assert np.all(np.diff(candidates) > 0)
+
+    def test_rejects_empty_and_degenerate(self):
+        with pytest.raises(ConfigurationError):
+            PrototypeIndex(np.empty((0, 3)))
+        with pytest.raises(ConfigurationError):
+            PrototypeIndex(np.ones((4, 1)))
+        index = PrototypeIndex(np.array([[0.5, 0.5, 0.1]]))
+        with pytest.raises(ConfigurationError):
+            index.candidates(np.array([0.5, 0.5]), -1.0)
