@@ -1,13 +1,19 @@
-"""Batch query-processing throughput vs the per-query loop.
+"""Batch query-processing throughput vs the per-query loops.
 
 The paper's headline efficiency claim is per-query; a heavy-traffic
-deployment additionally wants *batch* throughput.  This benchmark measures
-Q1 prediction throughput of the vectorised batch engine
-(``LLMModel.predict_mean_batch``) against the per-query Python loop on the
-Figure-12 scalability setup, plus the batched exact executor
-(``ExactQueryEngine.execute_q1_batch``) against its per-query loop, and
-asserts the headline requirement: **>= 10x** prediction throughput at batch
-size 1,000.
+deployment additionally wants *batch* throughput.  This benchmark measures,
+on the Figure-12 scalability setup:
+
+* Q1 prediction throughput of the vectorised batch engine
+  (``LLMModel.predict_mean_batch``) against the per-query Python loop,
+* Q2 prediction (``predict_q2_batch``) and data-value prediction
+  (``predict_value_batch``) against their loops,
+* the batched exact executor (``execute_q1_batch`` / ``execute_q2_batch``,
+  the segmented cell-aggregate pipeline) against its per-query loops,
+
+and asserts the headline requirements: **>= 10x** Q1 prediction throughput
+and **>= 4x** exact Q2 throughput at batch size 1,000 (the measured exact-Q2
+speedup on the reference container is ~5x; the gate leaves noise margin).
 
 The results are written to ``BENCH_batch.json`` so CI runs accumulate a
 performance trajectory.  Run standalone with::
@@ -27,18 +33,24 @@ import numpy as np
 from repro.eval.experiments import build_context
 from repro.eval.timing import measure_throughput
 
-#: Required speedup of batch prediction over the per-query loop.
+#: Required speedup of batch Q1 prediction over the per-query loop.
 REQUIRED_SPEEDUP = 10.0
+
+#: Required speedup of the batched exact Q2 executor over its loop.  The
+#: measured value on the reference container is ~5x at batch 1,000; the
+#: gate sits below it to absorb scheduler noise on shared runners.
+REQUIRED_EXACT_Q2_SPEEDUP = 4.0
 
 
 def run_batch_throughput(
     batch_size: int = 1_000,
     dataset_size: int = 40_000,
-    training_queries: int = 800,
+    training_queries: int = 1_200,
     *,
     dataset_name: str = "R2",
     dimension: int = 2,
     repetitions: int = 3,
+    exact_queries: int | None = None,
     seed: int = 7,
 ) -> dict:
     """Measure batch vs per-query throughput and verify numerical agreement."""
@@ -58,6 +70,8 @@ def run_batch_throughput(
         for index in range(batch_size)
     ]
     matrix = np.vstack([query.to_vector() for query in queries])
+    points = matrix[:, :-1]
+    probe_radius = model.average_prototype_radius()
 
     # --- model Q1 prediction: loop vs batch -------------------------------- #
     def _loop() -> list[float]:
@@ -73,21 +87,84 @@ def run_batch_throughput(
     batch_answers = model.predict_mean_batch(matrix)
     max_deviation = float(np.max(np.abs(loop_answers - batch_answers)))
 
-    # --- exact executor: loop vs batch ------------------------------------- #
-    exact_queries = queries[: min(200, batch_size)]
+    # --- model Q2 prediction: loop vs batch -------------------------------- #
+    q2_queries = queries[: min(300, batch_size)]
+
+    def _q2_loop() -> None:
+        for query in q2_queries:
+            model.regression_models(query)
+
+    q2_loop = measure_throughput(_q2_loop, len(q2_queries), repetitions=repetitions)
+    q2_batch = measure_throughput(
+        lambda: model.predict_q2_batch(q2_queries),
+        len(q2_queries),
+        repetitions=repetitions,
+    )
+
+    # --- model value prediction: loop vs batch ----------------------------- #
+    value_points = points[: min(300, batch_size)]
+
+    def _value_loop() -> None:
+        for point in value_points:
+            model.predict_value(point, probe_radius)
+
+    value_loop = measure_throughput(
+        _value_loop, len(value_points), repetitions=repetitions
+    )
+    value_batch = measure_throughput(
+        lambda: model.predict_value_batch(value_points, probe_radius),
+        len(value_points),
+        repetitions=repetitions,
+    )
+    value_dev = float(
+        np.max(
+            np.abs(
+                model.predict_value_batch(value_points, probe_radius)
+                - np.array(
+                    [model.predict_value(point, probe_radius) for point in value_points]
+                )
+            )
+        )
+    )
+
+    # --- exact executor: loops vs batches ---------------------------------- #
+    exact_batch_queries = queries[: (exact_queries or batch_size)]
+    exact_loop_queries = exact_batch_queries[: min(250, len(exact_batch_queries))]
 
     def _exact_loop() -> None:
-        for query in exact_queries:
+        for query in exact_loop_queries:
             context.engine.execute_q1(query)
 
     exact_loop = measure_throughput(
-        _exact_loop, len(exact_queries), repetitions=repetitions
+        _exact_loop, len(exact_loop_queries), repetitions=repetitions
     )
     exact_batch = measure_throughput(
-        lambda: context.engine.execute_q1_batch(exact_queries),
-        len(exact_queries),
+        lambda: context.engine.execute_q1_batch(exact_batch_queries, on_empty="null"),
+        len(exact_batch_queries),
         repetitions=repetitions,
     )
+
+    def _exact_q2_loop() -> None:
+        for query in exact_loop_queries:
+            context.engine.execute_q2(query)
+
+    exact_q2_loop = measure_throughput(
+        _exact_q2_loop, len(exact_loop_queries), repetitions=repetitions
+    )
+    exact_q2_batch = measure_throughput(
+        lambda: context.engine.execute_q2_batch(exact_batch_queries, on_empty="null"),
+        len(exact_batch_queries),
+        repetitions=repetitions,
+    )
+    q2_answers = context.engine.execute_q2_batch(exact_loop_queries, on_empty="null")
+    q2_dev = 0.0
+    for query, answer in zip(exact_loop_queries, q2_answers):
+        reference = context.engine.execute_q2(query)
+        q2_dev = max(
+            q2_dev,
+            abs(answer.mean - reference.mean),
+            float(np.max(np.abs(answer.coefficients - reference.coefficients))),
+        )
 
     return {
         "setup": {
@@ -106,20 +183,43 @@ def run_batch_throughput(
             "speedup": speedup,
             "max_abs_deviation": max_deviation,
         },
+        "q2_prediction": {
+            "loop_qps": q2_loop["items_per_second"],
+            "batch_qps": q2_batch["items_per_second"],
+            "speedup": q2_batch["items_per_second"] / q2_loop["items_per_second"],
+        },
+        "value_prediction": {
+            "loop_qps": value_loop["items_per_second"],
+            "batch_qps": value_batch["items_per_second"],
+            "speedup": value_batch["items_per_second"]
+            / value_loop["items_per_second"],
+            "max_abs_deviation": value_dev,
+        },
         "exact_q1_execution": {
             "loop_qps": exact_loop["items_per_second"],
             "batch_qps": exact_batch["items_per_second"],
             "speedup": exact_batch["items_per_second"]
             / exact_loop["items_per_second"],
         },
+        "exact_q2_execution": {
+            "loop_qps": exact_q2_loop["items_per_second"],
+            "batch_qps": exact_q2_batch["items_per_second"],
+            "speedup": exact_q2_batch["items_per_second"]
+            / exact_q2_loop["items_per_second"],
+            "max_abs_deviation": q2_dev,
+        },
         "required_speedup": REQUIRED_SPEEDUP,
+        "required_exact_q2_speedup": REQUIRED_EXACT_Q2_SPEEDUP,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
 
 
 def _format(result: dict) -> str:
     q1 = result["q1_prediction"]
+    q2 = result["q2_prediction"]
+    value = result["value_prediction"]
     exact = result["exact_q1_execution"]
+    exact_q2 = result["exact_q2_execution"]
     lines = [
         "Batch query-processing throughput (Fig-12 setup)",
         f"  prototypes:           {result['setup']['prototype_count']}",
@@ -131,22 +231,53 @@ def _format(result: dict) -> str:
         f"  Q1 speedup:           {q1['speedup']:.1f}x (required >= "
         f"{result['required_speedup']:.0f}x)",
         f"  Q1 max deviation:     {q1['max_abs_deviation']:.2e}",
-        f"  exact loop:           {exact['loop_qps']:,.0f} q/s",
-        f"  exact batch:          {exact['batch_qps']:,.0f} q/s"
-        f" ({exact['speedup']:.1f}x)",
+        f"  Q2 prediction:        {q2['loop_qps']:,.0f} -> {q2['batch_qps']:,.0f} q/s"
+        f" ({q2['speedup']:.1f}x)",
+        f"  value prediction:     {value['loop_qps']:,.0f} -> "
+        f"{value['batch_qps']:,.0f} q/s ({value['speedup']:.1f}x)",
+        f"  exact Q1:             {exact['loop_qps']:,.0f} -> "
+        f"{exact['batch_qps']:,.0f} q/s ({exact['speedup']:.1f}x)",
+        f"  exact Q2:             {exact_q2['loop_qps']:,.0f} -> "
+        f"{exact_q2['batch_qps']:,.0f} q/s ({exact_q2['speedup']:.1f}x, "
+        f"required >= {result['required_exact_q2_speedup']:.0f}x)",
+        f"  exact Q2 deviation:   {exact_q2['max_abs_deviation']:.2e}",
     ]
     return "\n".join(lines)
 
 
+def _check(result: dict) -> list[str]:
+    """Return the list of failed headline requirements (empty when green)."""
+    failures: list[str] = []
+    q1 = result["q1_prediction"]
+    if q1["speedup"] < REQUIRED_SPEEDUP:
+        failures.append(
+            f"Q1 batch speedup {q1['speedup']:.1f}x is below the required "
+            f"{REQUIRED_SPEEDUP:.0f}x"
+        )
+    if q1["max_abs_deviation"] > 1e-9:
+        failures.append("Q1 batch answers deviate from the per-query loop")
+    exact_q2 = result["exact_q2_execution"]
+    if exact_q2["speedup"] < REQUIRED_EXACT_Q2_SPEEDUP:
+        failures.append(
+            f"exact Q2 batch speedup {exact_q2['speedup']:.1f}x is below the "
+            f"required {REQUIRED_EXACT_Q2_SPEEDUP:.0f}x"
+        )
+    if exact_q2["max_abs_deviation"] > 1e-9:
+        failures.append("exact Q2 batch answers deviate from the per-query loop")
+    if result["value_prediction"]["max_abs_deviation"] > 1e-9:
+        failures.append("value-prediction batch answers deviate from the loop")
+    return failures
+
+
 def test_batch_throughput(results_dir, record_table):
-    """Benchmark-suite entry point: asserts the >= 10x headline."""
+    """Benchmark-suite entry point: asserts the headline requirements."""
     result = run_batch_throughput()
     record_table("bench_batch_throughput", _format(result))
     (results_dir / "BENCH_batch.json").write_text(
         json.dumps(result, indent=2) + "\n", encoding="utf-8"
     )
-    assert result["q1_prediction"]["speedup"] >= REQUIRED_SPEEDUP
-    assert result["q1_prediction"]["max_abs_deviation"] <= 1e-9
+    failures = _check(result)
+    assert not failures, "; ".join(failures)
 
 
 def main() -> int:
@@ -165,23 +296,20 @@ def main() -> int:
     args = parser.parse_args()
     if args.smoke:
         result = run_batch_throughput(
-            batch_size=1_000, dataset_size=10_000, training_queries=400
+            batch_size=1_000,
+            dataset_size=10_000,
+            training_queries=600,
+            exact_queries=400,
         )
     else:
         result = run_batch_throughput()
     print(_format(result))
     args.output.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
     print(f"\nwrote {args.output}")
-    if result["q1_prediction"]["speedup"] < REQUIRED_SPEEDUP:
-        print(
-            f"FAIL: batch speedup {result['q1_prediction']['speedup']:.1f}x is "
-            f"below the required {REQUIRED_SPEEDUP:.0f}x"
-        )
-        return 1
-    if result["q1_prediction"]["max_abs_deviation"] > 1e-9:
-        print("FAIL: batch answers deviate from the per-query loop")
-        return 1
-    return 0
+    failures = _check(result)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -60,6 +60,15 @@ __all__ = [
 #: K reaches the low thousands; measured crossover is around K ≈ 2–4k).
 DEFAULT_PRUNING_THRESHOLD = 2048
 
+#: Candidate-union fraction below which batched prediction switches from the
+#: dense ``(m, K)`` degree matrix to the block-sparse ``(m, |U|)`` one over
+#: the indexed candidate union.  The sparse path pays one vectorised
+#: candidate pass plus a column gather, so it only wins once it skips a
+#: sizeable share of the columns; measured on the reference container
+#: (K = 8192, d = 2, batch 512) the crossover sits near |U| / K ≈ 0.6, and
+#: 0.5 keeps a safety margin for wider prototype layouts.
+DEFAULT_BATCH_PRUNING_FRACTION = 0.5
+
 
 def overlapping_prototypes(
     query: Query, maps: Sequence[LocalLinearMap]
@@ -174,13 +183,18 @@ class NeighborhoodPredictor:
     maps:
         The trained local linear maps.
     use_pruning_index:
-        Whether single-query neighbourhood construction should prune the
-        prototype scan through a
-        :class:`~repro.dbms.spatial_index.PrototypeIndex`.  ``None`` (the
-        default) enables pruning automatically once the prototype count
-        reaches :data:`DEFAULT_PRUNING_THRESHOLD`.  Batch predictions always
-        use the dense ``(m, K)`` matrix path, which amortises the scan across
-        the whole batch.
+        Whether neighbourhood construction should prune the prototype scan
+        through a :class:`~repro.dbms.spatial_index.PrototypeIndex`.
+        ``None`` (the default) enables pruning automatically once the
+        prototype count reaches :data:`DEFAULT_PRUNING_THRESHOLD`.
+    batch_pruning_fraction:
+        With a pruning index, batched predictions compute the candidate
+        union ``U`` of the whole batch and switch to block-sparse
+        ``(m, |U|)`` degree/evaluation matrices whenever
+        ``|U| < fraction * K`` (answers are unchanged — ``U`` provably
+        contains every overlapping prototype).  Defaults to
+        :data:`DEFAULT_BATCH_PRUNING_FRACTION`; batches whose union covers
+        most prototypes keep the dense ``(m, K)`` path.
     """
 
     def __init__(
@@ -188,8 +202,14 @@ class NeighborhoodPredictor:
         maps: Sequence[LocalLinearMap],
         *,
         use_pruning_index: bool | None = None,
+        batch_pruning_fraction: float | None = None,
     ) -> None:
         self._maps = maps
+        self._batch_pruning_fraction = (
+            DEFAULT_BATCH_PRUNING_FRACTION
+            if batch_pruning_fraction is None
+            else float(batch_pruning_fraction)
+        )
         if maps:
             prototypes = np.vstack([llm.prototype for llm in maps])
             self._centers = prototypes[:, :-1]
@@ -339,22 +359,102 @@ class NeighborhoodPredictor:
         weights, extrapolated = normalized_weight_rows(degrees)
         if np.any(extrapolated):
             rows = np.nonzero(extrapolated)[0]
-            distances = np.linalg.norm(
-                matrix[rows][:, np.newaxis, :] - self._prototypes[np.newaxis, :, :],
-                axis=2,
-            )
-            weights[rows, np.argmin(distances, axis=1)] = 1.0
+            weights[rows, self._closest_prototypes(matrix[rows])] = 1.0
         return weights, extrapolated
 
-    def _evaluate_all_maps(self, matrix: np.ndarray) -> np.ndarray:
-        """``(m, K)`` matrix of ``f_k(q_i)`` via one matrix product."""
-        offsets = self._means - np.sum(self._slopes * self._prototypes, axis=1)
-        return offsets[np.newaxis, :] + matrix @ self._slopes.T
+    def _closest_prototypes(self, query_vectors: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`_closest_prototype` over query-vector rows."""
+        distances = np.linalg.norm(
+            query_vectors[:, np.newaxis, :] - self._prototypes[np.newaxis, :, :],
+            axis=2,
+        )
+        return np.argmin(distances, axis=1)
 
-    def _evaluate_all_maps_at_own_radius(self, points: np.ndarray) -> np.ndarray:
-        """``(m, K)`` matrix of ``f_k(x_i, theta_k)`` (Equation 14)."""
-        offsets = self._means - np.sum(self._center_slopes * self._centers, axis=1)
-        return offsets[np.newaxis, :] + points @ self._center_slopes.T
+    def _batch_weight_matrix(
+        self, matrix: np.ndarray, norm_order: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Batch weights, extrapolation mask and (optionally) sparse columns.
+
+        With a pruning index, the candidate union ``U`` of the whole batch
+        is computed in one vectorised pass
+        (:meth:`~repro.dbms.spatial_index.PrototypeIndex.candidates_union`);
+        when it is small relative to ``K`` the returned weight matrix is
+        block-sparse — shape ``(m, |U|)`` with ``columns`` mapping its
+        columns to prototype indices — and all downstream evaluations
+        restrict themselves to those columns.  ``columns`` is ``None`` on
+        the dense path.
+        """
+        if self._pruning_index is not None and self.prototype_count > 0:
+            columns = self._pruning_index.candidates_union(
+                matrix[:, :-1], matrix[:, -1], p=norm_order
+            )
+            if columns.size < self._batch_pruning_fraction * self.prototype_count:
+                return self._batch_neighborhood_pruned(matrix, norm_order, columns)
+        weights, extrapolated = self._batch_neighborhood(matrix, norm_order)
+        return weights, extrapolated, None
+
+    def _batch_neighborhood_pruned(
+        self, matrix: np.ndarray, norm_order: float, columns: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Block-sparse batch weights over the candidate-union columns.
+
+        ``columns`` provably contains every prototype overlapping any query
+        of the batch, so the ``(m, |U|)`` degree matrix carries exactly the
+        nonzero entries of the dense one and the normalised weights match
+        entry for entry.  Extrapolated rows pick the closest prototype over
+        the *full* prototype set (the extrapolation rule ignores the
+        overlap geometry), appending its column when it is not in ``U``.
+        """
+        count = matrix.shape[0]
+        degrees = overlap_degree_matrix(
+            matrix[:, :-1],
+            matrix[:, -1],
+            self._centers[columns],
+            self._radii[columns],
+            p=norm_order,
+        )
+        weights, extrapolated = normalized_weight_rows(degrees)
+        if np.any(extrapolated):
+            rows = np.nonzero(extrapolated)[0]
+            closest = self._closest_prototypes(matrix[rows])
+            missing = np.setdiff1d(closest, columns)
+            if missing.size:
+                columns = np.concatenate([columns, missing])
+                weights = np.hstack(
+                    [weights, np.zeros((count, missing.size), dtype=float)]
+                )
+                # Keep columns sorted so plane lists come out in the same
+                # prototype order as the dense path.
+                order = np.argsort(columns)
+                columns = columns[order]
+                weights = weights[:, order]
+            positions = np.searchsorted(columns, closest)
+            weights[rows, positions] = 1.0
+        return weights, extrapolated, columns
+
+    def _evaluate_all_maps(
+        self, matrix: np.ndarray, columns: np.ndarray | None = None
+    ) -> np.ndarray:
+        """``(m, K)`` (or ``(m, |columns|)``) matrix of ``f_k(q_i)``."""
+        slopes = self._slopes if columns is None else self._slopes[columns]
+        prototypes = (
+            self._prototypes if columns is None else self._prototypes[columns]
+        )
+        means = self._means if columns is None else self._means[columns]
+        offsets = means - np.sum(slopes * prototypes, axis=1)
+        return offsets[np.newaxis, :] + matrix @ slopes.T
+
+    def _evaluate_all_maps_at_own_radius(
+        self, points: np.ndarray, columns: np.ndarray | None = None
+    ) -> np.ndarray:
+        """``(m, K)`` (or sparse) matrix of ``f_k(x_i, theta_k)`` (Eq. 14)."""
+        slopes = (
+            self._center_slopes if columns is None else self._center_slopes[columns]
+        )
+        centers = self._centers if columns is None else self._centers[columns]
+        means = self._means if columns is None else self._means[columns]
+        offsets = means - np.sum(slopes * centers, axis=1)
+        return offsets[np.newaxis, :] + points @ slopes.T
 
     # ------------------------------------------------------------------ #
     # Q1: average-value prediction (Algorithm 2)
@@ -390,8 +490,8 @@ class NeighborhoodPredictor:
         rounding (the equivalence suite asserts 1e-12 agreement).
         """
         matrix = self._as_query_matrix(query_matrix)
-        weights, _ = self._batch_neighborhood(matrix, norm_order)
-        values = self._evaluate_all_maps(matrix)
+        weights, _, columns = self._batch_weight_matrix(matrix, norm_order)
+        values = self._evaluate_all_maps(matrix, columns)
         return np.sum(weights * values, axis=1)
 
     # ------------------------------------------------------------------ #
@@ -415,14 +515,15 @@ class NeighborhoodPredictor:
         materialisation of the per-query plane lists walks Python objects.
         """
         matrix = self._as_query_matrix(query_matrix)
-        weights, _ = self._batch_neighborhood(matrix, norm_order)
+        weights, _, columns = self._batch_weight_matrix(matrix, norm_order)
         results: list[list[RegressionPlane]] = []
         for row in weights:
             indices = np.nonzero(row)[0]
+            mapped = indices if columns is None else columns[indices]
             results.append(
                 [
-                    self._maps[int(index)].regression_plane(weight=float(row[index]))
-                    for index in indices
+                    self._maps[int(index)].regression_plane(weight=float(row[local]))
+                    for local, index in zip(indices, mapped)
                 ]
             )
         return results
@@ -460,8 +561,8 @@ class NeighborhoodPredictor:
             )
         radii = np.full((pts.shape[0], 1), float(radius))
         matrix = self._as_query_matrix(np.hstack([pts, radii]))
-        weights, _ = self._batch_neighborhood(matrix, norm_order)
-        values = self._evaluate_all_maps_at_own_radius(pts)
+        weights, _, columns = self._batch_weight_matrix(matrix, norm_order)
+        values = self._evaluate_all_maps_at_own_radius(pts, columns)
         return np.sum(weights * values, axis=1)
 
     def predict_values(

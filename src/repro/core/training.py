@@ -16,11 +16,17 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from ..dbms.executor import ExactQueryEngine
+from ..dbms.sharding import ShardedQueryEngine
 from ..exceptions import EmptySubspaceError
 from ..queries.query import Query, QueryResultPair
 from .model import LLMModel
 
-__all__ = ["StreamingTrainer", "TrainingCostBreakdown"]
+__all__ = ["StreamingTrainer", "TrainingCostBreakdown", "ExactEngine"]
+
+#: Engines a trainer can label workloads against: the single-node exact
+#: executor or the sharded parallel engine (both expose ``execute_q1`` /
+#: ``execute_q1_batch`` with identical semantics).
+ExactEngine = ExactQueryEngine | ShardedQueryEngine
 
 
 @dataclass
@@ -63,7 +69,11 @@ class StreamingTrainer:
     model:
         The model being trained.
     engine:
-        The exact engine answering the training queries.
+        The exact engine answering the training queries — either a
+        single-node :class:`~repro.dbms.executor.ExactQueryEngine` or a
+        :class:`~repro.dbms.sharding.ShardedQueryEngine`; the sharded
+        engine's batch paths make :meth:`label_queries` scale across
+        cores on large stored datasets.
     skip_empty_subspaces:
         When ``True`` (default), queries that select no rows are skipped
         (they have no defined answer); otherwise the exception propagates.
@@ -72,7 +82,7 @@ class StreamingTrainer:
     def __init__(
         self,
         model: LLMModel,
-        engine: ExactQueryEngine,
+        engine: ExactEngine,
         *,
         skip_empty_subspaces: bool = True,
     ) -> None:
@@ -113,10 +123,11 @@ class StreamingTrainer:
 
         Used to build held-out test workloads ``V`` with ground-truth
         answers for the accuracy experiments.  The queries are executed
-        through :meth:`~repro.dbms.executor.ExactQueryEngine.execute_q1_batch`
-        in chunks of ``batch_size``, amortising the per-query execution
-        overhead; empty subspaces are dropped (or raise, following
-        ``skip_empty_subspaces``) exactly as before.
+        through the engine's ``execute_q1_batch`` in chunks of
+        ``batch_size``, amortising the per-query execution overhead — with
+        a :class:`~repro.dbms.sharding.ShardedQueryEngine` each chunk fans
+        out across the shard workers; empty subspaces are dropped (or
+        raise, following ``skip_empty_subspaces``) exactly as before.
 
         Note the read-ahead this implies: the generator pulls up to
         ``batch_size`` queries from the source iterable and executes them

@@ -13,7 +13,11 @@ during the training phase.  This subpackage provides that substrate:
   generalised to the radius-augmented prototype space, used by the trained
   model's predictor to prune the overlap-set computation,
 * :class:`~repro.dbms.executor.ExactQueryEngine` — the exact executor of
-  Q1 (mean value) and Q2 (in-subspace OLS regression),
+  Q1 (mean value) and Q2 (in-subspace OLS regression), with batched paths
+  built on mergeable sufficient statistics,
+* :class:`~repro.dbms.sharding.ShardedQueryEngine` — parallel batched
+  execution over contiguous row shards whose per-shard statistics merge
+  exactly (blocked OLS for Q2),
 * :class:`~repro.dbms.sqlfront.AnalyticsSession` — a small declarative SQL
   front end implementing the Q1/Q2 syntax sketched in the paper's appendix.
 """
@@ -23,6 +27,7 @@ from .catalog import Catalog, TableInfo
 from .storage import SQLiteDataStore
 from .spatial_index import GridIndex, PrototypeIndex
 from .executor import ExactQueryEngine, ExecutionStatistics
+from .sharding import ShardedQueryEngine, shard_bounds
 from .sqlfront import AnalyticsSession, ParsedStatement, parse_statement
 
 __all__ = [
@@ -36,6 +41,8 @@ __all__ = [
     "PrototypeIndex",
     "ExactQueryEngine",
     "ExecutionStatistics",
+    "ShardedQueryEngine",
+    "shard_bounds",
     "AnalyticsSession",
     "ParsedStatement",
     "parse_statement",

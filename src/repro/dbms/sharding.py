@@ -1,0 +1,377 @@
+"""Sharded parallel execution of exact Q1/Q2 query batches.
+
+:class:`ShardedQueryEngine` partitions the stored rows into contiguous row
+shards and answers whole query batches by fanning the per-shard
+sufficient-statistics kernels of :mod:`repro.dbms.executor` out across a
+worker pool, then merging the per-shard statistics exactly:
+
+* Q1 merges ``(count, sum)`` per query,
+* Q2 merges the center-referenced Gram moments (``sum z``, ``sum y``,
+  ``sum y^2``, ``sum z y``, ``sum z z^T``) and recovers each query's OLS
+  plane with the blocked solve of
+  :func:`~repro.dbms.executor.solve_q2_sufficient_statistics`.
+
+Because the moments of disjoint row partitions add exactly, the sharded
+answers equal the single-engine answers up to summation order (the
+equivalence suite pins 1e-12); rank-deficient or ill-conditioned subspaces
+fall back to the dense per-query OLS over the full row set, keeping the
+exact minimum-norm semantics.
+
+Backends
+--------
+``"threads"`` (default) runs shard kernels on a thread pool: the NumPy
+distance/mask/GEMM kernels release the GIL, so shards execute in parallel
+on multi-core hosts, and the shard slices are shared with the pool for
+free.  ``"processes"`` runs them on a process pool (shard arrays are
+shipped once per worker at pool start-up); it sidesteps the GIL entirely
+but pays serialisation of the per-batch query arrays and of the returned
+statistics.  ``"serial"`` runs shards in-line, which still benefits from
+the cache blocking of shard-sized working sets.  The shipped benchmark
+(``benchmarks/bench_shard_scaling.py``) measures both pool backends and
+records the numbers in ``BENCH_shard.json``; threads won on the reference
+container, hence the default.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Sequence
+
+import numpy as np
+
+from ..data.synthetic import SyntheticDataset
+from ..exceptions import ConfigurationError, StorageError
+from ..queries.geometry import pairwise_lp_distance
+from ..queries.query import Query, QueryAnswer
+from .executor import (
+    ExecutionStatistics,
+    _fill_q1_answers,
+    _fill_q2_answers,
+    _group_by_norm_order,
+    _raise_on_empty_answers,
+    _validate_batch_queries,
+    q1_sufficient_statistics_scan,
+    q2_answer_from_rows,
+    q2_sufficient_statistics_scan,
+    solve_q2_sufficient_statistics,
+)
+from .storage import SQLiteDataStore
+
+__all__ = ["ShardedQueryEngine", "shard_bounds"]
+
+#: Shards per worker used when ``num_shards`` is not given.  More shards
+#: than workers keeps the pool busy when shard runtimes are uneven and
+#: shrinks each shard's working set (cache blocking), which measurably
+#: helps even single-core execution.
+_SHARDS_PER_WORKER = 4
+
+
+def shard_bounds(row_count: int, num_shards: int) -> np.ndarray:
+    """Row boundaries of ``num_shards`` near-equal contiguous shards.
+
+    Returns ``num_shards + 1`` monotonically increasing offsets starting at
+    0 and ending at ``row_count``.
+    """
+    if num_shards < 1:
+        raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+    return np.linspace(0, row_count, num_shards + 1).astype(np.int64)
+
+
+# --------------------------------------------------------------------------- #
+# process-pool plumbing: shard arrays are installed once per worker process
+# --------------------------------------------------------------------------- #
+_WORKER_SHARDS: list[tuple[np.ndarray, np.ndarray]] = []
+
+
+def _process_worker_init(inputs: np.ndarray, outputs: np.ndarray, bounds: np.ndarray) -> None:
+    _WORKER_SHARDS.clear()
+    for start, stop in zip(bounds[:-1], bounds[1:]):
+        _WORKER_SHARDS.append((inputs[start:stop], outputs[start:stop]))
+
+
+def _process_worker_q1(args: tuple) -> tuple[np.ndarray, np.ndarray]:
+    shard_index, centers, radii, p = args
+    inputs, outputs = _WORKER_SHARDS[shard_index]
+    return q1_sufficient_statistics_scan(inputs, outputs, centers, radii, p=p)
+
+
+def _process_worker_q2(args: tuple) -> tuple[np.ndarray, np.ndarray]:
+    shard_index, centers, radii, p = args
+    inputs, outputs = _WORKER_SHARDS[shard_index]
+    return q2_sufficient_statistics_scan(inputs, outputs, centers, radii, p=p)
+
+
+class ShardedQueryEngine:
+    """Answer exact Q1/Q2 batches over row shards merged by blocked statistics.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to shard.
+    num_shards:
+        Number of contiguous row shards; defaults to
+        ``max_workers * 4`` (shard working sets stay cache-friendly and the
+        pool stays saturated).
+    backend:
+        ``"threads"`` (default), ``"processes"`` or ``"serial"``.
+    max_workers:
+        Pool width; defaults to the machine's CPU count.
+
+    The engine mirrors the :class:`~repro.dbms.executor.ExactQueryEngine`
+    batch API (``execute_q1_batch`` / ``execute_q2_batch`` with the same
+    ``on_empty`` contract, plus single-query conveniences), so
+    :class:`~repro.core.training.StreamingTrainer` can label workloads
+    through it unchanged.
+    """
+
+    def __init__(
+        self,
+        dataset: SyntheticDataset,
+        *,
+        num_shards: int | None = None,
+        backend: str = "threads",
+        max_workers: int | None = None,
+    ) -> None:
+        if backend not in ("threads", "processes", "serial"):
+            raise ConfigurationError(
+                f"backend must be 'threads', 'processes' or 'serial', got {backend!r}"
+            )
+        self._dataset = dataset
+        self._inputs = dataset.inputs
+        self._outputs = dataset.outputs
+        self._backend = backend
+        workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        self._max_workers = max(int(workers), 1)
+        shards = (
+            num_shards
+            if num_shards is not None
+            else self._max_workers * _SHARDS_PER_WORKER
+        )
+        if shards < 1:
+            raise ConfigurationError(f"num_shards must be >= 1, got {shards}")
+        self._bounds = shard_bounds(dataset.size, int(shards))
+        self._shards = [
+            (self._inputs[start:stop], self._outputs[start:stop])
+            for start, stop in zip(self._bounds[:-1], self._bounds[1:])
+        ]
+        self._pool: Executor | None = None
+        self._closed = False
+        self.statistics = ExecutionStatistics()
+
+    # ------------------------------------------------------------------ #
+    # construction / lifecycle
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_store(
+        cls,
+        store: SQLiteDataStore,
+        table_name: str,
+        *,
+        num_shards: int | None = None,
+        backend: str = "threads",
+        max_workers: int | None = None,
+    ) -> "ShardedQueryEngine":
+        """Build a sharded engine over a stored table.
+
+        The table is materialised in storage (rowid) order via
+        :meth:`~repro.dbms.storage.SQLiteDataStore.load_as_dataset`, so the
+        contiguous row shards deterministically follow the stored row order
+        (:meth:`~repro.dbms.storage.SQLiteDataStore.scan_row_range` windows
+        of the same offsets see exactly the same rows).
+        """
+        return cls(
+            store.load_as_dataset(table_name),
+            num_shards=num_shards,
+            backend=backend,
+            max_workers=max_workers,
+        )
+
+    @property
+    def dataset(self) -> SyntheticDataset:
+        return self._dataset
+
+    @property
+    def dimension(self) -> int:
+        return self._dataset.dimension
+
+    @property
+    def size(self) -> int:
+        return self._dataset.size
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    def close(self) -> None:
+        """Shut the worker pool down; further batch calls will fail."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._closed = True
+
+    def __enter__(self) -> "ShardedQueryEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> Executor | None:
+        if self._closed:
+            raise StorageError("the sharded engine has been closed")
+        if self._backend == "serial":
+            return None
+        if self._pool is None:
+            if self._backend == "threads":
+                self._pool = ThreadPoolExecutor(max_workers=self._max_workers)
+            else:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self._max_workers,
+                    initializer=_process_worker_init,
+                    initargs=(self._inputs, self._outputs, self._bounds),
+                )
+        return self._pool
+
+    # ------------------------------------------------------------------ #
+    # fan-out / merge
+    # ------------------------------------------------------------------ #
+    def _shard_statistics(
+        self, centers: np.ndarray, radii: np.ndarray, p: float, kind: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fan one (single-norm) batch out across shards and merge exactly."""
+        pool = self._ensure_pool()
+        if self._backend == "processes":
+            worker = _process_worker_q1 if kind == "q1" else _process_worker_q2
+            tasks = [
+                (index, centers, radii, p) for index in range(self.num_shards)
+            ]
+            assert pool is not None
+            parts = list(pool.map(worker, tasks))
+        else:
+            kernel = (
+                q1_sufficient_statistics_scan
+                if kind == "q1"
+                else q2_sufficient_statistics_scan
+            )
+
+            def run(shard: tuple[np.ndarray, np.ndarray]):
+                return kernel(shard[0], shard[1], centers, radii, p=p)
+
+            if pool is None:
+                parts = [run(shard) for shard in self._shards]
+            else:
+                parts = list(pool.map(run, self._shards))
+        counts = parts[0][0].copy()
+        sums = np.array(parts[0][1], dtype=float, copy=True)
+        for shard_counts, shard_sums in parts[1:]:
+            counts += shard_counts
+            sums += shard_sums
+        return counts, sums
+
+    # ------------------------------------------------------------------ #
+    # batched execution
+    # ------------------------------------------------------------------ #
+    def _validate_batch(self, queries: Sequence[Query], on_empty: str) -> list[Query]:
+        return _validate_batch_queries(queries, on_empty, self.dimension)
+
+    def execute_q1_batch(
+        self, queries: Sequence[Query], *, on_empty: str = "raise"
+    ) -> list[QueryAnswer | None]:
+        """Execute a Q1 batch across all shards and merge ``(count, sum)``."""
+        batch = self._validate_batch(queries, on_empty)
+        if not batch:
+            return []
+        start = time.perf_counter()
+        answers: list[QueryAnswer | None] = [None] * len(batch)
+        centers = np.vstack([query.center for query in batch])
+        radii = np.array([query.radius for query in batch])
+        selected = 0
+        for order, group in _group_by_norm_order(batch):
+            counts, sums = self._shard_statistics(
+                centers[group], radii[group], order, "q1"
+            )
+            selected += int(counts.sum())
+            _fill_q1_answers(answers, group, counts, sums)
+        elapsed = time.perf_counter() - start
+        self.statistics.record_batch(
+            len(batch), len(batch) * self.size, selected, elapsed
+        )
+        self._raise_on_empty(batch, answers, on_empty, "Q1")
+        return answers
+
+    def execute_q2_batch(
+        self, queries: Sequence[Query], *, on_empty: str = "raise"
+    ) -> list[QueryAnswer | None]:
+        """Execute a Q2 batch across all shards via blocked OLS.
+
+        Per-shard Gram moments merge by addition; the merged system is
+        solved once for the whole batch.  Queries flagged by the solver
+        (fewer selected rows than ``d + 1``, or a near-singular merged
+        Gram) are re-answered by the dense per-query OLS over the full row
+        set, preserving :class:`~repro.baselines.ols.OLSRegressor`
+        minimum-norm semantics exactly.
+        """
+        batch = self._validate_batch(queries, on_empty)
+        if not batch:
+            return []
+        start = time.perf_counter()
+        answers: list[QueryAnswer | None] = [None] * len(batch)
+        centers = np.vstack([query.center for query in batch])
+        radii = np.array([query.radius for query in batch])
+        selected = 0
+        fallback_positions: list[int] = []
+        for order, group in _group_by_norm_order(batch):
+            group_centers = centers[group]
+            counts, moments = self._shard_statistics(
+                group_centers, radii[group], order, "q2"
+            )
+            selected += int(counts.sum())
+            solution = solve_q2_sufficient_statistics(counts, moments, group_centers)
+            _fill_q2_answers(answers, group, counts, solution, fallback_positions)
+        # Each fallback re-selects with one full scan; account it in the
+        # rows-scanned statistic alongside the sharded scans.
+        scanned = (len(batch) + len(fallback_positions)) * self.size
+        for position in fallback_positions:
+            answers[position] = self._execute_q2_dense(batch[position])
+        elapsed = time.perf_counter() - start
+        self.statistics.record_batch(len(batch), scanned, selected, elapsed)
+        self._raise_on_empty(batch, answers, on_empty, "Q2")
+        return answers
+
+    def _execute_q2_dense(self, query: Query) -> QueryAnswer:
+        """Exact per-query OLS over the full row set (rare fallback path)."""
+        distances = pairwise_lp_distance(
+            self._inputs, query.center, p=query.norm_order
+        )
+        selected = np.nonzero(distances <= query.radius)[0]
+        return q2_answer_from_rows(self._inputs[selected], self._outputs[selected])
+
+    _raise_on_empty = staticmethod(_raise_on_empty_answers)
+
+    # ------------------------------------------------------------------ #
+    # single-query conveniences (StreamingTrainer compatibility)
+    # ------------------------------------------------------------------ #
+    def execute_q1(self, query: Query) -> QueryAnswer:
+        """Single-query Q1 through the sharded batch path."""
+        answer = self.execute_q1_batch([query])[0]
+        assert answer is not None
+        return answer
+
+    def execute_q2(self, query: Query) -> QueryAnswer:
+        """Single-query Q2 through the sharded batch path."""
+        answer = self.execute_q2_batch([query])[0]
+        assert answer is not None
+        return answer
+
+    def mean_value(self, query: Query) -> float:
+        """Convenience oracle used by training streams: the Q1 scalar answer."""
+        return self.execute_q1(query).mean

@@ -210,6 +210,37 @@ class SQLiteDataStore:
         table = np.asarray(rows, dtype=float)
         return table[:, :-1], table[:, -1]
 
+    def scan_row_range(
+        self, table_name: str, start: int, stop: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Scan rows ``[start, stop)`` of a table in storage (rowid) order.
+
+        This is the shard loader of the sharded execution engine: shard
+        boundaries expressed as row offsets map to deterministic
+        ``ORDER BY rowid`` windows, so every shard sees a disjoint,
+        exhaustive slice of the table regardless of insertion batching.
+        """
+        self._require_open()
+        if start < 0 or stop < start:
+            raise StorageError(
+                f"invalid row range [{start}, {stop}): bounds must satisfy "
+                "0 <= start <= stop"
+            )
+        info = self._catalog.get(table_name)
+        schema = info.schema
+        sql = (
+            f"{schema.select_all_sql()} ORDER BY rowid LIMIT ? OFFSET ?"
+        )
+        cursor = self._connection.execute(sql, (stop - start, start))
+        rows = cursor.fetchall()
+        if not rows:
+            return (
+                np.empty((0, info.dimension), dtype=float),
+                np.empty((0,), dtype=float),
+            )
+        table = np.asarray(rows, dtype=float)
+        return table[:, :-1], table[:, -1]
+
     def iter_batches(
         self, table_name: str, batch_size: int = 50_000
     ) -> Iterator[tuple[np.ndarray, np.ndarray]]:

@@ -38,7 +38,7 @@ from ..metrics.evaluation import (
 from ..queries.query import Query
 from ..queries.stream import LabelledWorkload
 from ..queries.workload import QueryWorkloadGenerator, RadiusDistribution, WorkloadSpec
-from .timing import measure_mean_latency
+from .timing import measure_amortized_latency, measure_mean_latency
 
 __all__ = [
     "ExperimentContext",
@@ -598,23 +598,36 @@ def run_scalability_experiment(
     measured_queries: int = 30,
     coefficient: float = DEFAULT_COEFFICIENT,
     plr_max_basis_functions: int = 10,
+    worker_counts: tuple[int, ...] = (1, 2),
+    shard_backend: str = "threads",
     seed: int = 7,
 ) -> dict:
     """Measure per-query latency of LLM vs exact REG (and PLR for Q2) vs N.
 
     The LLM latency should be flat across dataset sizes (it never touches
     the data) while the exact engines' latencies grow with N — the shape of
-    Figure 12.  The batched prediction engine is measured alongside the
-    per-query loop (``llm_batch`` series): it amortises the per-call Python
-    overhead across the whole batch, which is the regime a heavy-traffic
-    deployment operates in.
+    Figure 12.  Batched engines are measured alongside the per-query loops:
+    ``llm_batch`` / ``llm_q2_batch`` / ``llm_value_batch`` for the model
+    side and ``exact_batch`` (Q1 and Q2) for the segmented exact executor.
+    The ``sharded`` axis sweeps :class:`~repro.dbms.sharding
+    .ShardedQueryEngine` worker counts (``worker_counts``), reporting the
+    amortised per-query latency of the scan-based sharded batch path per
+    core budget — the "cores" dimension of the scalability story.
     """
+    from ..dbms.sharding import ShardedQueryEngine
+
     llm_q1: list[float] = []
     llm_q1_batch: list[float] = []
     exact_q1: list[float] = []
+    exact_q1_batch: list[float] = []
     llm_q2: list[float] = []
+    llm_q2_batch: list[float] = []
+    llm_value_batch: list[float] = []
     exact_q2: list[float] = []
+    exact_q2_batch: list[float] = []
     plr_q2: list[float] = []
+    sharded_q1: dict[int, list[float]] = {count: [] for count in worker_counts}
+    sharded_q2: dict[int, list[float]] = {count: [] for count in worker_counts}
 
     for size in dataset_sizes:
         context = build_context(
@@ -633,13 +646,31 @@ def run_scalability_experiment(
         )
         # Same methodology as the per-query series: a mean over repeated
         # runs (not best-of-N), divided down to the amortised per-query
-        # latency, so the two series are directly comparable.
-        batch_runs = measure_mean_latency(
-            lambda _: model.predict_mean_batch(queries), [None], repetitions=3
+        # latency, so the batch and loop series are directly comparable.
+        llm_q1_batch.append(
+            measure_amortized_latency(
+                lambda: model.predict_mean_batch(queries), len(queries)
+            )["mean_ms"]
         )
-        llm_q1_batch.append(batch_runs["mean_ms"] / len(queries))
+        llm_q2_batch.append(
+            measure_amortized_latency(
+                lambda: model.predict_q2_batch(queries), len(queries)
+            )["mean_ms"]
+        )
+        value_points = np.vstack([query.center for query in queries])
+        llm_value_batch.append(
+            measure_amortized_latency(
+                lambda: model.predict_value_batch(value_points), len(queries)
+            )["mean_ms"]
+        )
         exact_q1.append(
             measure_mean_latency(context.engine.execute_q1, queries)["mean_ms"]
+        )
+        exact_q1_batch.append(
+            measure_amortized_latency(
+                lambda: context.engine.execute_q1_batch(queries, on_empty="null"),
+                len(queries),
+            )["mean_ms"]
         )
         llm_q2.append(
             measure_mean_latency(model.regression_models, queries)["mean_ms"]
@@ -647,6 +678,31 @@ def run_scalability_experiment(
         exact_q2.append(
             measure_mean_latency(context.engine.execute_q2, queries)["mean_ms"]
         )
+        exact_q2_batch.append(
+            measure_amortized_latency(
+                lambda: context.engine.execute_q2_batch(queries, on_empty="null"),
+                len(queries),
+            )["mean_ms"]
+        )
+
+        for count in worker_counts:
+            with ShardedQueryEngine(
+                context.dataset,
+                backend=shard_backend,
+                max_workers=count,
+            ) as sharded:
+                sharded_q1[count].append(
+                    measure_amortized_latency(
+                        lambda: sharded.execute_q1_batch(queries, on_empty="null"),
+                        len(queries),
+                    )["mean_ms"]
+                )
+                sharded_q2[count].append(
+                    measure_amortized_latency(
+                        lambda: sharded.execute_q2_batch(queries, on_empty="null"),
+                        len(queries),
+                    )["mean_ms"]
+                )
 
         def _plr_over_subspace(query: Query, _engine=context.engine) -> None:
             inputs, outputs = _engine.select_subspace(query)
@@ -662,12 +718,28 @@ def run_scalability_experiment(
     return {
         "dataset_sizes": list(dataset_sizes),
         "dimension": dimension,
+        "worker_counts": list(worker_counts),
+        "shard_backend": shard_backend,
         "q1_latency_ms": {
             "llm": llm_q1,
             "llm_batch": llm_q1_batch,
             "exact_reg": exact_q1,
+            "exact_batch": exact_q1_batch,
+            "sharded": {
+                f"workers={count}": series for count, series in sharded_q1.items()
+            },
         },
-        "q2_latency_ms": {"llm": llm_q2, "exact_reg": exact_q2, "plr": plr_q2},
+        "q2_latency_ms": {
+            "llm": llm_q2,
+            "llm_batch": llm_q2_batch,
+            "llm_value_batch": llm_value_batch,
+            "exact_reg": exact_q2,
+            "exact_batch": exact_q2_batch,
+            "plr": plr_q2,
+            "sharded": {
+                f"workers={count}": series for count, series in sharded_q2.items()
+            },
+        },
     }
 
 

@@ -7,7 +7,12 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-__all__ = ["Stopwatch", "measure_mean_latency", "measure_throughput"]
+__all__ = [
+    "Stopwatch",
+    "measure_mean_latency",
+    "measure_amortized_latency",
+    "measure_throughput",
+]
 
 
 class Stopwatch:
@@ -60,6 +65,39 @@ def measure_mean_latency(
         "median_ms": float(np.median(latencies_ms)),
         "total_seconds": float(np.sum(latencies_ms) / 1000.0),
         "count": float(latencies_ms.size),
+    }
+
+
+def measure_amortized_latency(
+    operation: Callable[[], object],
+    item_count: int,
+    *,
+    repetitions: int = 3,
+) -> dict[str, float]:
+    """Amortised per-item latency of a whole-batch operation.
+
+    ``operation`` processes the entire batch (e.g. one ``execute_q2_batch``
+    call); the *mean* wall-clock across repetitions is divided by
+    ``item_count``, so the result is directly comparable with the per-item
+    series of :func:`measure_mean_latency` (same mean-not-best methodology).
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    if item_count < 1:
+        raise ValueError(f"item_count must be >= 1, got {item_count}")
+    elapsed: list[float] = []
+    for _ in range(repetitions):
+        started = time.perf_counter()
+        operation()
+        elapsed.append(time.perf_counter() - started)
+    mean_seconds = float(np.mean(elapsed))
+    return {
+        "mean_ms": mean_seconds / item_count * 1000.0,
+        "total_seconds": float(np.sum(elapsed)),
+        "items_per_second": (
+            item_count / mean_seconds if mean_seconds > 0 else float("inf")
+        ),
+        "count": float(item_count),
     }
 
 

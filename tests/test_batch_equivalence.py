@@ -310,6 +310,210 @@ class TestModelBatchAPI:
             trained.predict_mean_batch(np.array([[0.5, 0.5]]))
 
 
+class TestBatchPruningEquivalence:
+    """Block-sparse candidate-union batch mode vs the dense batch path."""
+
+    K = 600
+
+    @pytest.fixture(scope="class")
+    def predictors(self):
+        # Tight prototype radii keep the pruning reach local, as in a
+        # converged large-K quantization (vigilance shrinks with K).
+        rng = np.random.default_rng(17)
+        maps = []
+        for _ in range(self.K):
+            center = rng.uniform(0.0, 1.0, size=2)
+            radius = rng.uniform(0.01, 0.05)
+            maps.append(
+                LocalLinearMap(
+                    prototype=np.concatenate([center, [radius]]),
+                    mean_output=float(rng.normal(0.0, 2.0)),
+                    slope=rng.normal(0.0, 1.0, size=3),
+                )
+            )
+        dense = NeighborhoodPredictor(maps, use_pruning_index=False)
+        sparse = NeighborhoodPredictor(maps, use_pruning_index=True)
+        return dense, sparse
+
+    def _localized_matrix(self, count: int = 40, seed: int = 71) -> np.ndarray:
+        """A localized batch (small union) with extrapolation probes mixed in."""
+        rng = np.random.default_rng(seed)
+        centers = np.array([0.3, 0.7]) + rng.uniform(-0.05, 0.05, size=(count, 2))
+        radii = rng.uniform(0.01, 0.05, size=(count, 1))
+        matrix = np.hstack([centers, radii])
+        matrix[::9, :2] += 7.0  # far away: empty overlap set
+        return matrix
+
+    def test_sparse_mode_engages_on_localized_batches(self, predictors):
+        _, sparse = predictors
+        matrix = self._localized_matrix()
+        weights, _, columns = sparse._batch_weight_matrix(matrix, 2.0)
+        assert columns is not None
+        assert 0 < columns.size < self.K
+        assert weights.shape == (matrix.shape[0], columns.size)
+
+    def test_union_contains_every_overlapping_prototype(self, predictors):
+        dense, sparse = predictors
+        matrix = self._localized_matrix()
+        assert sparse._pruning_index is not None
+        union = sparse._pruning_index.candidates_union(
+            matrix[:, :-1], matrix[:, -1]
+        )
+        degrees = overlap_degree_matrix(
+            matrix[:, :-1], matrix[:, -1], dense._centers, dense._radii
+        )
+        needed = np.nonzero(degrees.max(axis=0) > 0.0)[0]
+        assert np.isin(needed, union).all()
+
+    def test_mean_batch_matches_dense(self, predictors):
+        dense, sparse = predictors
+        matrix = self._localized_matrix()
+        np.testing.assert_allclose(
+            sparse.predict_mean_batch(matrix),
+            dense.predict_mean_batch(matrix),
+            rtol=0.0,
+            atol=TOLERANCE,
+        )
+
+    def test_q2_batch_matches_dense(self, predictors):
+        dense, sparse = predictors
+        matrix = self._localized_matrix(count=20)
+        for sparse_planes, dense_planes in zip(
+            sparse.predict_q2_batch(matrix), dense.predict_q2_batch(matrix)
+        ):
+            assert len(sparse_planes) == len(dense_planes)
+            for left, right in zip(sparse_planes, dense_planes):
+                assert left.weight == pytest.approx(right.weight, abs=TOLERANCE)
+                assert left.intercept == pytest.approx(
+                    right.intercept, abs=TOLERANCE
+                )
+                np.testing.assert_allclose(
+                    left.prototype_center, right.prototype_center, atol=0.0
+                )
+
+    def test_value_batch_matches_dense(self, predictors):
+        dense, sparse = predictors
+        matrix = self._localized_matrix()
+        np.testing.assert_allclose(
+            sparse.predict_value_batch(matrix[:, :2], 0.03),
+            dense.predict_value_batch(matrix[:, :2], 0.03),
+            rtol=0.0,
+            atol=TOLERANCE,
+        )
+
+    def test_scattered_batch_falls_back_to_dense(self, predictors):
+        _, sparse = predictors
+        rng = np.random.default_rng(73)
+        matrix = np.hstack(
+            [rng.uniform(0, 1, size=(60, 2)), rng.uniform(0.2, 0.4, size=(60, 1))]
+        )
+        _, _, columns = sparse._batch_weight_matrix(matrix, 2.0)
+        assert columns is None  # union covers most prototypes -> dense path
+
+
+class TestExecutorQ2BatchEquivalence:
+    """``execute_q2_batch`` vs the per-query ``execute_q2`` loop."""
+
+    @pytest.fixture(params=DIMENSIONS, scope="class")
+    def setup(self, request):
+        from repro.data.synthetic import SyntheticDataset
+        from repro.dbms.executor import ExactQueryEngine
+
+        dimension = request.param
+        rng = np.random.default_rng(29)
+        inputs = rng.uniform(0, 1, size=(3_000, dimension))
+        slope = rng.normal(0.0, 1.0, size=dimension)
+        outputs = 1.0 + inputs @ slope + 0.05 * rng.normal(size=3_000)
+        dataset = SyntheticDataset(
+            inputs=inputs,
+            outputs=outputs,
+            name=f"q2batch{dimension}",
+            domain=(0.0, 1.0),
+        )
+        queries = []
+        for index in range(30):
+            if index % 9 == 0:
+                queries.append(
+                    Query(center=rng.uniform(6, 7, size=dimension), radius=0.01)
+                )
+            elif index % 7 == 0:
+                anchor = inputs[int(rng.integers(3_000))]
+                queries.append(Query(center=anchor + 1e-6, radius=2e-4))
+            else:
+                order = (1.0, 2.0, np.inf)[index % 3]
+                queries.append(
+                    Query(
+                        center=rng.uniform(0, 1, size=dimension),
+                        radius=float(rng.uniform(0.05, 0.4)),
+                        norm_order=order,
+                    )
+                )
+        return dataset, queries
+
+    @pytest.mark.parametrize("use_index", [True, False])
+    def test_batch_matches_per_query(self, setup, use_index):
+        from repro.dbms.executor import ExactQueryEngine
+
+        dataset, queries = setup
+        engine = ExactQueryEngine(dataset, use_index=use_index)
+        answers = engine.execute_q2_batch(queries, on_empty="null")
+        for query, answer in zip(queries, answers):
+            try:
+                expected = engine.execute_q2(query)
+            except Exception:
+                assert answer is None
+                continue
+            assert answer is not None
+            assert answer.cardinality == expected.cardinality
+            np.testing.assert_allclose(
+                answer.mean, expected.mean, rtol=TOLERANCE, atol=TOLERANCE
+            )
+            np.testing.assert_allclose(
+                answer.coefficients,
+                expected.coefficients,
+                rtol=1e-9,
+                atol=TOLERANCE,
+            )
+            np.testing.assert_allclose(
+                answer.r_squared, expected.r_squared, rtol=1e-9, atol=1e-9
+            )
+
+    def test_indexed_and_scan_batches_agree(self, setup):
+        from repro.dbms.executor import ExactQueryEngine
+
+        dataset, queries = setup
+        indexed = ExactQueryEngine(dataset, use_index=True)
+        scan = ExactQueryEngine(dataset, use_index=False)
+        left = indexed.execute_q2_batch(queries, on_empty="null")
+        right = scan.execute_q2_batch(queries, on_empty="null")
+        for a, b in zip(left, right):
+            if a is None:
+                assert b is None
+                continue
+            assert a.cardinality == b.cardinality
+            np.testing.assert_allclose(
+                a.coefficients, b.coefficients, rtol=1e-9, atol=TOLERANCE
+            )
+
+    def test_on_empty_raise(self, setup):
+        from repro.dbms.executor import ExactQueryEngine
+
+        dataset, _ = setup
+        engine = ExactQueryEngine(dataset)
+        from repro.exceptions import EmptySubspaceError
+
+        with pytest.raises(EmptySubspaceError):
+            engine.execute_q2_batch(
+                [Query(center=np.full(dataset.dimension, 9.0), radius=0.01)]
+            )
+
+    def test_empty_batch(self, setup):
+        from repro.dbms.executor import ExactQueryEngine
+
+        dataset, _ = setup
+        assert ExactQueryEngine(dataset).execute_q2_batch([]) == []
+
+
 class TestExecutorBatchEquivalence:
     @pytest.fixture(scope="class")
     def engine(self):

@@ -136,9 +136,10 @@ class TestQ1Batch:
         engine.execute_q1_batch(queries)
         stats = engine.statistics
         assert stats.queries_executed == 3
-        assert len(stats.per_query_seconds) == 3
         assert stats.mean_seconds > 0.0
-        assert stats.total_seconds == pytest.approx(sum(stats.per_query_seconds))
+        assert stats.total_seconds == pytest.approx(stats.mean_seconds * 3)
+        # Batched recording amortises one wall-clock over the whole batch.
+        assert stats.min_seconds == pytest.approx(stats.max_seconds)
 
 
 class TestStatistics:
@@ -152,6 +153,36 @@ class TestStatistics:
         assert stats.rows_selected > 0
         assert stats.total_seconds > 0.0
         assert stats.mean_seconds > 0.0
+        assert 0.0 < stats.min_seconds <= stats.max_seconds
+
+    def test_running_aggregates_are_constant_memory(self):
+        stats = ExecutionStatistics()
+        for index in range(9_999):
+            stats.record(10, 5, 0.001 * (1 + index % 3))
+        assert stats.queries_executed == 9_999
+        assert stats.min_seconds == pytest.approx(0.001)
+        assert stats.max_seconds == pytest.approx(0.003)
+        assert stats.mean_seconds == pytest.approx(0.002)
+        # No per-query containers anywhere in the instance state.
+        assert not any(
+            isinstance(value, (list, dict, np.ndarray))
+            for value in vars(stats).values()
+        )
+
+    def test_per_query_seconds_deprecated(self):
+        stats = ExecutionStatistics()
+        stats.record(10, 5, 0.01)
+        stats.record(10, 5, 0.03)
+        with pytest.warns(DeprecationWarning):
+            synthesised = stats.per_query_seconds
+        assert len(synthesised) == 2
+        assert sum(synthesised) == pytest.approx(stats.total_seconds)
+
+    def test_empty_statistics_read_as_zero(self):
+        stats = ExecutionStatistics()
+        assert stats.mean_seconds == 0.0
+        assert stats.min_seconds == 0.0
+        assert stats.max_seconds == 0.0
 
     def test_reset(self):
         stats = ExecutionStatistics()
@@ -159,6 +190,7 @@ class TestStatistics:
         stats.reset()
         assert stats.queries_executed == 0
         assert stats.mean_seconds == 0.0
+        assert stats.min_seconds == 0.0
 
 
 class TestFromStore:

@@ -154,3 +154,134 @@ class TestPrototypeIndex:
         index = PrototypeIndex(np.array([[0.5, 0.5, 0.1]]))
         with pytest.raises(ConfigurationError):
             index.candidates(np.array([0.5, 0.5]), -1.0)
+
+
+class TestBatchCandidateRanges:
+    """Vectorised candidate/classified range generation over the grid."""
+
+    @pytest.mark.parametrize("dimension", [1, 2, 3, 6])
+    @pytest.mark.parametrize("p", [1.0, 2.0, 3.0, np.inf])
+    def test_ranges_cover_every_selected_row(self, dimension, p):
+        rng = np.random.default_rng(5)
+        pts = rng.uniform(0, 1, size=(1_500, dimension))
+        index = GridIndex(pts)
+        centers = np.vstack(
+            [
+                rng.uniform(0, 1, size=(25, dimension)),
+                rng.uniform(3, 4, size=(5, dimension)),  # out of domain
+            ]
+        )
+        radii = rng.uniform(0.02, 0.45, size=30)
+        query_ids, starts, ends = index.candidate_ranges_batch(centers, radii, p=p)
+        order = index.clustered_order
+        candidates: list[set[int]] = [set() for _ in range(30)]
+        for qid, start, end in zip(query_ids, starts, ends):
+            rows = order[start:end].tolist()
+            assert not candidates[qid].intersection(rows), "duplicate candidates"
+            candidates[qid].update(rows)
+        for i in range(30):
+            distances = pairwise_lp_distance(pts, centers[i], p=p)
+            selected = set(np.nonzero(distances <= radii[i])[0].tolist())
+            assert selected <= candidates[i]
+
+    @pytest.mark.parametrize("p", [1.0, 2.0, np.inf])
+    def test_inner_cells_are_fully_inside(self, p):
+        rng = np.random.default_rng(7)
+        pts = rng.uniform(0, 1, size=(2_000, 2))
+        index = GridIndex(pts, cells_per_dimension=24)
+        centers = rng.uniform(0, 1, size=(20, 2))
+        radii = rng.uniform(0.1, 0.4, size=20)
+        (
+            bnd_qid,
+            bnd_starts,
+            bnd_ends,
+            inner_qid,
+            cell_starts,
+            cell_ends,
+        ) = index.classified_ranges_batch(centers, radii, p=p)
+        assert inner_qid.size > 0  # classification engages at these radii
+        order = index.clustered_order
+        offsets = index.cell_row_offsets
+        for qid, cs, ce in zip(inner_qid, cell_starts, cell_ends):
+            for cell in range(cs, ce):
+                rows = order[offsets[cell] : offsets[cell + 1]]
+                distances = pairwise_lp_distance(pts[rows], centers[qid], p=p)
+                assert np.all(distances <= radii[qid])
+
+    def test_classified_partition_matches_plain_candidates(self):
+        rng = np.random.default_rng(11)
+        pts = rng.uniform(0, 1, size=(1_000, 2))
+        index = GridIndex(pts, cells_per_dimension=16)
+        centers = rng.uniform(0, 1, size=(10, 2))
+        radii = rng.uniform(0.05, 0.35, size=10)
+        q_all, s_all, e_all = index.candidate_ranges_batch(centers, radii)
+        (
+            bnd_qid,
+            bnd_starts,
+            bnd_ends,
+            inner_qid,
+            cell_starts,
+            cell_ends,
+        ) = index.classified_ranges_batch(centers, radii)
+        order = index.clustered_order
+        offsets = index.cell_row_offsets
+        for i in range(10):
+            plain: set[int] = set()
+            for qid, start, end in zip(q_all, s_all, e_all):
+                if qid == i:
+                    plain.update(order[start:end].tolist())
+            split: set[int] = set()
+            for qid, start, end in zip(bnd_qid, bnd_starts, bnd_ends):
+                if qid == i:
+                    split.update(order[start:end].tolist())
+            for qid, cs, ce in zip(inner_qid, cell_starts, cell_ends):
+                if qid == i:
+                    for cell in range(cs, ce):
+                        split.update(
+                            order[offsets[cell] : offsets[cell + 1]].tolist()
+                        )
+            assert split == plain
+
+    def test_validation(self, points):
+        index = GridIndex(points)
+        with pytest.raises(DimensionalityMismatchError):
+            index.candidate_ranges_batch(np.zeros((2, 3)), np.array([0.1, 0.1]))
+        with pytest.raises(ConfigurationError):
+            index.candidate_ranges_batch(np.zeros((2, 2)), np.array([0.1]))
+        with pytest.raises(ConfigurationError):
+            index.candidate_ranges_batch(np.zeros((1, 2)), np.array([-0.5]))
+        empty = index.candidate_ranges_batch(np.empty((0, 2)), np.empty(0))
+        assert all(part.size == 0 for part in empty)
+
+
+class TestPrototypeCandidateUnion:
+    def test_union_is_superset_across_norms(self):
+        rng = np.random.default_rng(19)
+        prototypes = np.hstack(
+            [rng.uniform(0, 1, size=(400, 2)), rng.uniform(0.01, 0.2, size=(400, 1))]
+        )
+        index = PrototypeIndex(prototypes)
+        centers = rng.uniform(0, 1, size=(25, 2))
+        radii = rng.uniform(0.02, 0.3, size=25)
+        for p in (1.0, 2.0, np.inf):
+            union = set(index.candidates_union(centers, radii, p=p).tolist())
+            for i in range(25):
+                for k in range(prototypes.shape[0]):
+                    degree = overlap_degree(
+                        centers[i],
+                        radii[i],
+                        prototypes[k, :-1],
+                        prototypes[k, -1],
+                        p=p,
+                    )
+                    if degree > 0.0:
+                        assert k in union
+
+    def test_union_of_empty_batch(self):
+        rng = np.random.default_rng(23)
+        prototypes = np.hstack(
+            [rng.uniform(0, 1, size=(50, 2)), rng.uniform(0.01, 0.1, size=(50, 1))]
+        )
+        index = PrototypeIndex(prototypes)
+        union = index.candidates_union(np.empty((0, 2)), np.empty(0))
+        assert union.size == 0
