@@ -1,19 +1,25 @@
-"""Sharded batch execution vs the single-engine scan batch path.
+"""Sharded batch execution vs the single-engine batch paths.
 
 The sharded engine answers exact Q1/Q2 batches by fanning per-shard
-sufficient-statistics scans out over a worker pool and merging exactly
-(blocked OLS for Q2).  This benchmark measures, on an N >= 200k scan
-workload (the regime of the paper's Figure-12 scalability story where no
-selective index applies):
+sufficient-statistics kernels out over a worker pool and merging exactly
+(blocked OLS for Q2).  Since PR 3 each shard owns two kernels — the
+cache-blocked full scan and a per-shard grid-indexed segmented pipeline —
+plus an adaptive router (``route="auto"``) choosing between them from a
+selectivity estimate.  This benchmark measures, on an N >= 200k workload:
 
-* the single-engine full-scan batch path (``use_index=False``),
-* the sharded engine at 1 and 2+ workers, thread and process backends,
+* the classic backend/worker axis (thread and process pools, 1 and 2+
+  workers) on the unselective scan-regime workload of the Figure-12
+  scalability story, against the single-engine full-scan batch path;
+* a **selectivity axis**: the same engine at forced ``route="scan"``,
+  forced ``route="indexed"`` and adaptive ``route="auto"`` across radius
+  regimes from highly selective (radius much smaller than the data extent)
+  to scan-bound, against both single-engine batch paths (indexed and
+  scan) — recording where the per-shard indexed pipeline crosses over the
+  shard scan and whether the router lands on the winning side.
 
-verifies the sharded answers against the single-engine ones to 1e-9, and
-records everything in ``BENCH_shard.json`` (the backend winner is reported
-so the default backend choice stays an empirical fact).  Sharding wins on
-two axes: shard-sized working sets are cache-blocked even on one core, and
-the GIL-releasing NumPy kernels scale across cores where available.
+Every configuration is verified against the single-engine answers to 1e-9
+and everything is recorded in ``BENCH_shard.json``, so the default backend
+and the router's thresholds stay empirical facts.
 
 Run standalone with::
 
@@ -34,12 +40,25 @@ import numpy as np
 from repro.data.synthetic import make_rosenbrock_dataset, normalize_dataset
 from repro.dbms.executor import ExactQueryEngine
 from repro.dbms.sharding import ShardedQueryEngine
-from repro.eval.experiments import default_radius_distribution
 from repro.eval.timing import measure_amortized_latency
-from repro.queries.workload import QueryWorkloadGenerator, WorkloadSpec
+from repro.queries.workload import (
+    QueryWorkloadGenerator,
+    RadiusDistribution,
+    WorkloadSpec,
+)
 
 #: Batch-vs-single agreement gate (CI fails beyond this).
 MAX_DEVIATION = 1e-9
+
+#: Radius regimes of the selectivity axis (mean, std of the query radius on
+#: the normalised [0, 1] domain).  "selective" touches a few cells per
+#: query; "moderate" sits near the router's crossover; "scan" makes most
+#: rows candidates, where the sequential scan kernel wins.
+SELECTIVITY_REGIMES: dict[str, tuple[float, float]] = {
+    "selective": (0.02, 0.002),
+    "moderate": (0.10, 0.01),
+    "scan": (0.40, 0.04),
+}
 
 
 def _deviation(single: list, other: list) -> float:
@@ -57,6 +76,35 @@ def _deviation(single: list, other: list) -> float:
     return worst
 
 
+def _workload(dimension: int, radius: RadiusDistribution, count: int, seed: int):
+    generator = QueryWorkloadGenerator(
+        WorkloadSpec(
+            dimension=dimension, center_low=0.0, center_high=1.0, radius=radius
+        ),
+        seed=seed,
+    )
+    return generator.generate(count)
+
+
+def _measure_engine(engine, queries, batch_size: int, repetitions: int) -> dict:
+    q1 = measure_amortized_latency(
+        lambda: engine.execute_q1_batch(queries, on_empty="null"),
+        batch_size,
+        repetitions=repetitions,
+    )
+    q2 = measure_amortized_latency(
+        lambda: engine.execute_q2_batch(queries, on_empty="null"),
+        batch_size,
+        repetitions=repetitions,
+    )
+    return {
+        "q1_qps": q1["items_per_second"],
+        "q2_qps": q2["items_per_second"],
+        "q1_mean_latency_ms": q1["mean_ms"],
+        "q2_mean_latency_ms": q2["mean_ms"],
+    }
+
+
 def run_shard_scaling(
     dataset_size: int = 200_000,
     batch_size: int = 400,
@@ -64,76 +112,120 @@ def run_shard_scaling(
     dimension: int = 2,
     worker_counts: tuple[int, ...] = (1, 2),
     backends: tuple[str, ...] = ("threads", "processes"),
+    regimes: tuple[str, ...] = ("selective", "moderate", "scan"),
     repetitions: int = 2,
     seed: int = 7,
 ) -> dict:
-    """Measure sharded vs single-engine scan-batch throughput and agreement."""
+    """Measure sharded vs single-engine batch throughput and agreement."""
     dataset = normalize_dataset(
         make_rosenbrock_dataset(dataset_size, dimension=dimension, seed=seed)
     )
-    radius = default_radius_distribution(dimension)
-    low, high = dataset.domain
-    generator = QueryWorkloadGenerator(
-        WorkloadSpec(
-            dimension=dimension, center_low=low, center_high=high, radius=radius
-        ),
-        seed=seed,
-    )
-    queries = generator.generate(batch_size)
 
-    single = ExactQueryEngine(dataset, use_index=False)
-    single_q1 = measure_amortized_latency(
-        lambda: single.execute_q1_batch(queries, on_empty="null"),
-        batch_size,
-        repetitions=repetitions,
+    # ------------------------------------------------------------------ #
+    # classic axis: backends x workers on the scan-regime workload
+    # ------------------------------------------------------------------ #
+    scan_radius = RadiusDistribution(*SELECTIVITY_REGIMES["scan"])
+    scan_queries = _workload(dimension, scan_radius, batch_size, seed)
+    single_scan = ExactQueryEngine(dataset, use_index=False)
+    single_scan_stats = _measure_engine(
+        single_scan, scan_queries, batch_size, repetitions
     )
-    single_q2 = measure_amortized_latency(
-        lambda: single.execute_q2_batch(queries, on_empty="null"),
-        batch_size,
-        repetitions=repetitions,
-    )
-    reference_q1 = single.execute_q1_batch(queries, on_empty="null")
-    reference_q2 = single.execute_q2_batch(queries, on_empty="null")
+    reference_q1 = single_scan.execute_q1_batch(scan_queries, on_empty="null")
+    reference_q2 = single_scan.execute_q2_batch(scan_queries, on_empty="null")
 
     runs: list[dict] = []
     for backend in backends:
         for workers in worker_counts:
             with ShardedQueryEngine(
-                dataset, backend=backend, max_workers=workers
+                dataset, backend=backend, max_workers=workers, route="scan"
             ) as engine:
-                q1_stats = measure_amortized_latency(
-                    lambda: engine.execute_q1_batch(queries, on_empty="null"),
-                    batch_size,
-                    repetitions=repetitions,
-                )
-                q2_stats = measure_amortized_latency(
-                    lambda: engine.execute_q2_batch(queries, on_empty="null"),
-                    batch_size,
-                    repetitions=repetitions,
+                stats = _measure_engine(
+                    engine, scan_queries, batch_size, repetitions
                 )
                 q1_dev = _deviation(
-                    reference_q1, engine.execute_q1_batch(queries, on_empty="null")
+                    reference_q1,
+                    engine.execute_q1_batch(scan_queries, on_empty="null"),
                 )
                 q2_dev = _deviation(
-                    reference_q2, engine.execute_q2_batch(queries, on_empty="null")
+                    reference_q2,
+                    engine.execute_q2_batch(scan_queries, on_empty="null"),
                 )
                 runs.append(
                     {
                         "backend": backend,
                         "workers": workers,
                         "num_shards": engine.num_shards,
-                        "q1_qps": q1_stats["items_per_second"],
-                        "q2_qps": q2_stats["items_per_second"],
-                        "q1_mean_latency_ms": q1_stats["mean_ms"],
-                        "q2_mean_latency_ms": q2_stats["mean_ms"],
+                        **stats,
                         "q1_max_abs_deviation": q1_dev,
                         "q2_max_abs_deviation": q2_dev,
-                        "q1_speedup_vs_single": q1_stats["items_per_second"]
-                        / single_q1["items_per_second"],
-                        "q2_speedup_vs_single": q2_stats["items_per_second"]
-                        / single_q2["items_per_second"],
+                        "q1_speedup_vs_single": stats["q1_qps"]
+                        / single_scan_stats["q1_qps"],
+                        "q2_speedup_vs_single": stats["q2_qps"]
+                        / single_scan_stats["q2_qps"],
                     }
                 )
+
+    # ------------------------------------------------------------------ #
+    # selectivity axis: forced scan / forced indexed / routed per regime
+    # ------------------------------------------------------------------ #
+    single_indexed = ExactQueryEngine(dataset, use_index=True)
+    selectivity_axis: list[dict] = []
+    for regime in regimes:
+        mean, std = SELECTIVITY_REGIMES[regime]
+        queries = _workload(
+            dimension, RadiusDistribution(mean, std), batch_size, seed + 1
+        )
+        regime_reference_q1 = single_indexed.execute_q1_batch(
+            queries, on_empty="null"
+        )
+        regime_reference_q2 = single_indexed.execute_q2_batch(
+            queries, on_empty="null"
+        )
+        entry: dict = {
+            "regime": regime,
+            "radius_mean": mean,
+            "single_indexed": _measure_engine(
+                single_indexed, queries, batch_size, repetitions
+            ),
+            "single_scan": _measure_engine(
+                single_scan, queries, batch_size, repetitions
+            ),
+            "routes": {},
+        }
+        for route in ("scan", "indexed", "auto"):
+            with ShardedQueryEngine(
+                dataset, backend="threads", route=route
+            ) as engine:
+                stats = _measure_engine(engine, queries, batch_size, repetitions)
+                q1_dev = _deviation(
+                    regime_reference_q1,
+                    engine.execute_q1_batch(queries, on_empty="null"),
+                )
+                q2_dev = _deviation(
+                    regime_reference_q2,
+                    engine.execute_q2_batch(queries, on_empty="null"),
+                )
+                rows_per_query = engine.statistics.rows_scanned / max(
+                    engine.statistics.queries_executed, 1
+                )
+                entry["routes"][route] = {
+                    **stats,
+                    "q1_max_abs_deviation": q1_dev,
+                    "q2_max_abs_deviation": q2_dev,
+                    "rows_touched_per_query": rows_per_query,
+                }
+        scan_stats = entry["routes"]["scan"]
+        indexed_stats = entry["routes"]["indexed"]
+        auto_stats = entry["routes"]["auto"]
+        entry["indexed_speedup_vs_scan"] = {
+            "q1": indexed_stats["q1_qps"] / scan_stats["q1_qps"],
+            "q2": indexed_stats["q2_qps"] / scan_stats["q2_qps"],
+        }
+        best_forced = max(
+            scan_stats["q2_qps"], indexed_stats["q2_qps"]
+        )
+        entry["routed_efficiency_q2"] = auto_stats["q2_qps"] / best_forced
+        selectivity_axis.append(entry)
 
     best = max(runs, key=lambda run: run["q1_qps"] + run["q2_qps"])
     return {
@@ -143,15 +235,12 @@ def run_shard_scaling(
             "batch_size": batch_size,
             "worker_counts": list(worker_counts),
             "backends": list(backends),
+            "regimes": {name: SELECTIVITY_REGIMES[name] for name in regimes},
             "cpu_count": os.cpu_count() or 1,
         },
-        "single_engine": {
-            "q1_qps": single_q1["items_per_second"],
-            "q2_qps": single_q2["items_per_second"],
-            "q1_mean_latency_ms": single_q1["mean_ms"],
-            "q2_mean_latency_ms": single_q2["mean_ms"],
-        },
+        "single_engine": single_scan_stats,
         "sharded": runs,
+        "selectivity_axis": selectivity_axis,
         "winner": {"backend": best["backend"], "workers": best["workers"]},
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
@@ -176,18 +265,33 @@ def _format(result: dict) -> str:
         )
     winner = result["winner"]
     lines.append(f"  winner: {winner['backend']} @ {winner['workers']} workers")
+    lines.append("  selectivity axis (threads backend):")
+    for entry in result["selectivity_axis"]:
+        lines.append(
+            f"    {entry['regime']:9s} (radius ~{entry['radius_mean']:.2f}): "
+            f"indexed/scan Q1 {entry['indexed_speedup_vs_scan']['q1']:.2f}x "
+            f"Q2 {entry['indexed_speedup_vs_scan']['q2']:.2f}x | "
+            f"routed Q2 at {entry['routed_efficiency_q2']:.2f} of best forced"
+        )
+        for route, stats in entry["routes"].items():
+            lines.append(
+                f"      {route:7s}: Q1 {stats['q1_qps']:,.0f} q/s | "
+                f"Q2 {stats['q2_qps']:,.0f} q/s | "
+                f"{stats['rows_touched_per_query']:,.0f} rows/q | "
+                f"dev {max(stats['q1_max_abs_deviation'], stats['q2_max_abs_deviation']):.1e}"
+            )
     return "\n".join(lines)
 
 
 def _check(result: dict, *, require_speedup: bool) -> list[str]:
-    """NaN / deviation gates (CI), plus the >= 2-worker win in full runs."""
+    """NaN / deviation / crossover gates (CI), plus the >= 2-worker win."""
     failures: list[str] = []
 
     def walk(node, path=""):
         if isinstance(node, dict):
             for key, value in node.items():
                 walk(value, f"{path}.{key}")
-        elif isinstance(node, list):
+        elif isinstance(node, (list, tuple)):
             for index, value in enumerate(node):
                 walk(value, f"{path}[{index}]")
         elif isinstance(node, float) and not math.isfinite(node):
@@ -201,6 +305,24 @@ def _check(result: dict, *, require_speedup: bool) -> list[str]:
                 f"{run['backend']} w={run['workers']} deviates from the "
                 f"single-engine batch by {worst:.2e} (> {MAX_DEVIATION:.0e})"
             )
+    for entry in result["selectivity_axis"]:
+        for route, stats in entry["routes"].items():
+            worst = max(
+                stats["q1_max_abs_deviation"], stats["q2_max_abs_deviation"]
+            )
+            if worst > MAX_DEVIATION:
+                failures.append(
+                    f"{entry['regime']}/{route} deviates from the single-"
+                    f"engine batch by {worst:.2e} (> {MAX_DEVIATION:.0e})"
+                )
+        if entry["regime"] == "selective":
+            speedup = entry["indexed_speedup_vs_scan"]
+            if min(speedup["q1"], speedup["q2"]) <= 1.0:
+                failures.append(
+                    "the indexed sharded route did not beat the sharded scan "
+                    f"on the selective regime (Q1 {speedup['q1']:.2f}x, "
+                    f"Q2 {speedup['q2']:.2f}x)"
+                )
     if require_speedup:
         multi = [run for run in result["sharded"] if run["workers"] >= 2]
         best = max(
@@ -228,7 +350,10 @@ def _check(result: dict, *, require_speedup: bool) -> list[str]:
 def test_shard_scaling(results_dir, record_table):
     """Benchmark-suite entry point (reduced size, same N >= 200k regime)."""
     result = run_shard_scaling(
-        batch_size=150, backends=("threads",), repetitions=1
+        batch_size=150,
+        backends=("threads",),
+        regimes=("selective", "scan"),
+        repetitions=1,
     )
     record_table("bench_shard_scaling", _format(result))
     (results_dir / "BENCH_shard.json").write_text(
@@ -257,6 +382,7 @@ def main() -> int:
             batch_size=100,
             backends=("threads",),
             worker_counts=(1, 2),
+            regimes=("selective", "scan"),
             repetitions=1,
         )
         failures = _check(result, require_speedup=False)

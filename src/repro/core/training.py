@@ -116,8 +116,32 @@ class StreamingTrainer:
         breakdown.final_prototype_count = self.model.prototype_count
         return breakdown
 
+    def _resolve_labelling_engine(
+        self, engine: "ExactEngine | str | None"
+    ) -> tuple[ExactEngine, str | None]:
+        """Resolve ``label_queries``'s engine selector.
+
+        Returns ``(engine, forced_route)``: ``forced_route`` is the routing
+        policy to apply on a sharded engine for the duration of the
+        labelling run (``None`` leaves the engine's own policy untouched).
+        """
+        if engine is None or engine == "default":
+            return self.engine, None
+        if engine == "auto":
+            return self.engine, "auto"
+        if isinstance(engine, str):
+            raise ValueError(
+                f"engine must be 'auto', 'default', None or an engine "
+                f"instance, got {engine!r}"
+            )
+        return engine, None
+
     def label_queries(
-        self, queries: Iterable[Query], *, batch_size: int = 256
+        self,
+        queries: Iterable[Query],
+        *,
+        batch_size: int = 256,
+        engine: "ExactEngine | str | None" = None,
     ) -> Iterator[QueryResultPair]:
         """Yield exact ``(query, answer)`` pairs without updating the model.
 
@@ -129,6 +153,17 @@ class StreamingTrainer:
         out across the shard workers; empty subspaces are dropped (or
         raise, following ``skip_empty_subspaces``) exactly as before.
 
+        ``engine`` selects what executes the chunks: ``None`` (default) or
+        ``"default"`` uses the trainer's engine as configured; ``"auto"``
+        uses the trainer's engine with adaptive routing enabled — on a
+        :class:`~repro.dbms.sharding.ShardedQueryEngine` each chunk is
+        routed per shard between the scan kernel and the per-shard grid
+        index, and between inline and pooled execution, from a selectivity
+        estimate (the engine's own ``route`` policy is restored after each
+        chunk, before anything is yielded); a single-node exact engine already picks
+        its path per construction, so ``"auto"`` is a no-op there.  An
+        explicit engine instance labels through that engine instead.
+
         Note the read-ahead this implies: the generator pulls up to
         ``batch_size`` queries from the source iterable and executes them
         *before* the first pair of the chunk is yielded.  A consumer that
@@ -139,20 +174,40 @@ class StreamingTrainer:
         """
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        target, forced_route = self._resolve_labelling_engine(engine)
+        if forced_route is not None and not isinstance(target, ShardedQueryEngine):
+            forced_route = None
         on_empty = "null" if self.skip_empty_subspaces else "raise"
         batch: list[Query] = []
         for query in queries:
             batch.append(query)
             if len(batch) >= batch_size:
-                yield from self._label_batch(batch, on_empty)
+                yield from self._label_batch(target, batch, on_empty, forced_route)
                 batch = []
         if batch:
-            yield from self._label_batch(batch, on_empty)
+            yield from self._label_batch(target, batch, on_empty, forced_route)
 
     def _label_batch(
-        self, batch: list[Query], on_empty: str
+        self,
+        engine: ExactEngine,
+        batch: list[Query],
+        on_empty: str,
+        forced_route: str | None = None,
     ) -> Iterator[QueryResultPair]:
-        answers = self.engine.execute_q1_batch(batch, on_empty=on_empty)
+        # The route override is scoped to the execute call itself (set and
+        # restored before anything is yielded), so an abandoned generator
+        # or interleaved labelling runs can never leak a policy change onto
+        # the shared engine.
+        if forced_route is not None:
+            assert isinstance(engine, ShardedQueryEngine)
+            previous_route = engine.route
+            engine.route = forced_route
+            try:
+                answers = engine.execute_q1_batch(batch, on_empty=on_empty)
+            finally:
+                engine.route = previous_route
+        else:
+            answers = engine.execute_q1_batch(batch, on_empty=on_empty)
         for query, answer in zip(batch, answers):
             if answer is None:
                 continue

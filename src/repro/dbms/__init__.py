@@ -17,7 +17,9 @@ during the training phase.  This subpackage provides that substrate:
   built on mergeable sufficient statistics,
 * :class:`~repro.dbms.sharding.ShardedQueryEngine` — parallel batched
   execution over contiguous row shards whose per-shard statistics merge
-  exactly (blocked OLS for Q2),
+  exactly (blocked OLS for Q2); each shard owns a lazily-built grid-indexed
+  segmented pipeline next to its scan kernel, with an adaptive router
+  picking between them per shard from a selectivity estimate,
 * :class:`~repro.dbms.sqlfront.AnalyticsSession` — a small declarative SQL
   front end implementing the Q1/Q2 syntax sketched in the paper's appendix.
 """
@@ -25,8 +27,14 @@ during the training phase.  This subpackage provides that substrate:
 from .schema import ColumnSpec, TableSchema, schema_for_dataset
 from .catalog import Catalog, TableInfo
 from .storage import SQLiteDataStore
-from .spatial_index import GridIndex, PrototypeIndex
-from .executor import ExactQueryEngine, ExecutionStatistics
+from .spatial_index import (
+    GridIndex,
+    PrototypeIndex,
+    batch_grid_cells_per_dimension,
+    estimate_boundary_fraction,
+    estimate_candidate_fraction,
+)
+from .executor import ExactQueryEngine, ExecutionStatistics, SegmentedBatchPipeline
 from .sharding import ShardedQueryEngine, shard_bounds
 from .sqlfront import AnalyticsSession, ParsedStatement, parse_statement
 
@@ -39,8 +47,12 @@ __all__ = [
     "SQLiteDataStore",
     "GridIndex",
     "PrototypeIndex",
+    "batch_grid_cells_per_dimension",
+    "estimate_boundary_fraction",
+    "estimate_candidate_fraction",
     "ExactQueryEngine",
     "ExecutionStatistics",
+    "SegmentedBatchPipeline",
     "ShardedQueryEngine",
     "shard_bounds",
     "AnalyticsSession",

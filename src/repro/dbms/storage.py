@@ -282,3 +282,32 @@ class SQLiteDataStore:
             domain=(float(domain[0]), float(domain[1])),
             metadata=dict(info.metadata),
         )
+
+    def load_row_range_as_dataset(
+        self, table_name: str, start: int, stop: int, *, name: str | None = None
+    ) -> SyntheticDataset:
+        """Materialise rows ``[start, stop)`` of a table as a dataset.
+
+        This is the range-restricted build used to construct per-shard or
+        per-window structures (datasets, grid indexes) directly from
+        storage: the window follows the deterministic rowid order of
+        :meth:`scan_row_range`, so disjoint windows partition the table
+        exactly.  ``name`` overrides the default window-suffixed dataset
+        name.  Raises :class:`~repro.exceptions.StorageError` when the
+        window selects no rows (a dataset must hold at least one).
+        """
+        info = self._catalog.get(table_name)
+        inputs, outputs = self.scan_row_range(table_name, start, stop)
+        if inputs.shape[0] == 0:
+            raise StorageError(
+                f"row range [{start}, {stop}) of table {table_name!r} selects "
+                "no rows; cannot build a dataset over an empty window"
+            )
+        domain = tuple(info.metadata.get("domain", (0.0, 1.0)))
+        return SyntheticDataset(
+            inputs=inputs,
+            outputs=outputs,
+            name=name or f"{info.table_name}[{start}:{stop}]",
+            domain=(float(domain[0]), float(domain[1])),
+            metadata=dict(info.metadata),
+        )

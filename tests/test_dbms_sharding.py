@@ -263,6 +263,114 @@ class TestBackends:
             ShardedQueryEngine(_dataset(1, size=50), backend="fibers")
 
 
+class TestIndexedRouting:
+    """Per-shard grid-indexed execution and the adaptive route planner."""
+
+    def test_invalid_route_rejected(self):
+        dataset = _dataset(1, size=50)
+        with pytest.raises(ConfigurationError):
+            ShardedQueryEngine(dataset, backend="serial", route="btree")
+        with ShardedQueryEngine(dataset, backend="serial") as engine:
+            with pytest.raises(ConfigurationError):
+                engine.route = "fastest"
+
+    @pytest.mark.parametrize("dimension", DIMENSIONS)
+    def test_indexed_route_matches_scan_route(self, dimension):
+        dataset = _dataset(dimension)
+        queries = _mixed_queries(dataset)
+        results = {}
+        for route in ("scan", "indexed", "auto"):
+            with ShardedQueryEngine(
+                dataset, num_shards=3, backend="serial", route=route
+            ) as engine:
+                results[route] = engine.execute_q2_batch(queries, on_empty="null")
+        _assert_answers_match(results["indexed"], results["scan"])
+        _assert_answers_match(results["auto"], results["scan"])
+
+    def test_indexed_route_scans_fewer_rows_on_selective_batch(self):
+        dataset = _dataset(2, size=4_000)
+        rng = np.random.default_rng(17)
+        queries = [
+            Query(center=rng.uniform(0.2, 0.8, size=2), radius=0.03)
+            for _ in range(10)
+        ]
+        with ShardedQueryEngine(
+            dataset, num_shards=3, backend="serial", route="scan"
+        ) as engine:
+            scan_answers = engine.execute_q1_batch(queries, on_empty="null")
+            scan_rows = engine.statistics.rows_scanned
+        with ShardedQueryEngine(
+            dataset, num_shards=3, backend="serial", route="indexed"
+        ) as engine:
+            indexed_answers = engine.execute_q1_batch(queries, on_empty="null")
+            indexed_rows = engine.statistics.rows_scanned
+        assert scan_rows == len(queries) * dataset.size
+        assert indexed_rows < scan_rows / 5
+        _assert_answers_match(indexed_answers, scan_answers)
+
+    def test_auto_routes_by_selectivity(self):
+        dataset = _dataset(2, size=4_000)
+        selective = [Query(center=np.array([0.5, 0.5]), radius=0.02)]
+        unselective = [Query(center=np.array([0.5, 0.5]), radius=0.45)]
+        with ShardedQueryEngine(
+            dataset, num_shards=2, backend="serial", route="auto"
+        ) as engine:
+            engine.execute_q1_batch(selective, on_empty="null")
+            selective_rows = engine.statistics.rows_scanned
+            engine.statistics.reset()
+            engine.execute_q1_batch(unselective, on_empty="null")
+            unselective_rows = engine.statistics.rows_scanned
+        assert selective_rows < dataset.size / 5
+        assert unselective_rows == dataset.size
+
+    def test_pipelines_built_lazily_and_only_for_indexed_routes(self):
+        dataset = _dataset(2, size=1_000)
+        queries = _mixed_queries(dataset, count=6, seed=3)
+        with ShardedQueryEngine(
+            dataset, num_shards=3, backend="serial", route="scan"
+        ) as engine:
+            engine.execute_q1_batch(queries, on_empty="null")
+            assert all(pipeline is None for pipeline in engine._pipelines)
+            engine.route = "indexed"
+            engine.execute_q1_batch(queries, on_empty="null")
+            assert all(pipeline is not None for pipeline in engine._pipelines)
+
+    def test_indexed_route_thread_and_process_backends(self):
+        dataset = _dataset(2, size=900)
+        queries = _mixed_queries(dataset, count=10, seed=13)
+        with ShardedQueryEngine(
+            dataset, num_shards=3, backend="serial", route="indexed"
+        ) as engine:
+            expected = engine.execute_q2_batch(queries, on_empty="null")
+        for backend in ("threads", "processes"):
+            with ShardedQueryEngine(
+                dataset,
+                num_shards=3,
+                backend=backend,
+                max_workers=2,
+                route="indexed",
+            ) as engine:
+                actual = engine.execute_q2_batch(queries, on_empty="null")
+            _assert_answers_match(actual, expected)
+
+    def test_from_store_indexed_route_matches_memory(self):
+        dataset = _dataset(2, size=700)
+        queries = _mixed_queries(dataset, count=8, seed=29)
+        with ShardedQueryEngine(
+            dataset, num_shards=3, backend="serial", route="indexed"
+        ) as engine:
+            expected = engine.execute_q2_batch(queries, on_empty="null")
+        with SQLiteDataStore(":memory:") as store:
+            store.load_dataset(dataset)
+            engine = ShardedQueryEngine.from_store(
+                store, dataset.name, num_shards=3, backend="serial", route="indexed"
+            )
+        with engine:
+            np.testing.assert_allclose(engine.dataset.inputs, dataset.inputs)
+            actual = engine.execute_q2_batch(queries, on_empty="null")
+        _assert_answers_match(actual, expected)
+
+
 class TestEngineContract:
     def test_on_empty_raise(self):
         dataset = _dataset(2, size=500)
@@ -391,6 +499,56 @@ class TestStreamingTrainerIntegration:
         for pair, ref in zip(pairs, expected):
             assert pair.query is ref.query
             assert pair.answer == pytest.approx(ref.answer, abs=TOLERANCE)
+
+    def test_label_queries_engine_auto_routes_and_restores(self):
+        from repro.core.model import LLMModel
+        from repro.core.training import StreamingTrainer
+
+        dataset = _dataset(2, size=800)
+        queries = _mixed_queries(dataset, count=12, seed=51)
+        reference = StreamingTrainer(
+            LLMModel(dimension=2), ExactQueryEngine(dataset)
+        )
+        expected = list(reference.label_queries(queries, batch_size=4))
+        with ShardedQueryEngine(
+            dataset, num_shards=3, backend="serial", route="scan"
+        ) as engine:
+            trainer = StreamingTrainer(LLMModel(dimension=2), engine)
+            pairs = list(
+                trainer.label_queries(queries, batch_size=4, engine="auto")
+            )
+            # The labelling run borrowed adaptive routing; the engine's own
+            # policy is restored afterwards.
+            assert engine.route == "scan"
+        assert len(pairs) == len(expected)
+        for pair, ref in zip(pairs, expected):
+            assert pair.answer == pytest.approx(ref.answer, abs=TOLERANCE)
+
+    def test_label_queries_explicit_engine_instance(self):
+        from repro.core.model import LLMModel
+        from repro.core.training import StreamingTrainer
+
+        dataset = _dataset(2, size=500)
+        queries = _mixed_queries(dataset, count=8, seed=61)
+        trainer = StreamingTrainer(
+            LLMModel(dimension=2), ExactQueryEngine(dataset)
+        )
+        with ShardedQueryEngine(dataset, num_shards=2, backend="serial") as other:
+            pairs = list(trainer.label_queries(queries, batch_size=4, engine=other))
+            assert other.statistics.queries_executed > 0
+        assert trainer.engine.statistics.queries_executed == 0
+        assert len(pairs) == len(
+            list(trainer.label_queries(queries, batch_size=4))
+        )
+
+    def test_label_queries_rejects_unknown_engine_selector(self):
+        from repro.core.model import LLMModel
+        from repro.core.training import StreamingTrainer
+
+        dataset = _dataset(2, size=200)
+        trainer = StreamingTrainer(LLMModel(dimension=2), ExactQueryEngine(dataset))
+        with pytest.raises(ValueError):
+            list(trainer.label_queries([], engine="turbo"))
 
     def test_train_through_sharded_engine(self):
         from repro.core.model import LLMModel

@@ -58,6 +58,68 @@ class TestLoadAndScan:
         assert rebuilt.domain == dataset.domain
 
 
+class TestScanRowRange:
+    """Boundary cases of the shard loader used by ``ShardedQueryEngine``."""
+
+    def test_empty_range_returns_typed_empty_arrays(self, store, dataset):
+        store.load_dataset(dataset)
+        inputs, outputs = store.scan_row_range("demo", 120, 120)
+        assert inputs.shape == (0, dataset.dimension)
+        assert outputs.shape == (0,)
+
+    def test_range_past_end_is_clipped(self, store, dataset):
+        store.load_dataset(dataset)
+        inputs, outputs = store.scan_row_range("demo", 490, 10_000)
+        assert inputs.shape == (10, dataset.dimension)
+        np.testing.assert_allclose(inputs, dataset.inputs[490:])
+        np.testing.assert_allclose(outputs, dataset.outputs[490:])
+
+    def test_range_entirely_past_end_is_empty(self, store, dataset):
+        store.load_dataset(dataset)
+        inputs, outputs = store.scan_row_range("demo", 500, 600)
+        assert inputs.shape == (0, dataset.dimension)
+        assert outputs.shape == (0,)
+
+    def test_full_table_range_round_trips(self, store, dataset):
+        store.load_dataset(dataset)
+        inputs, outputs = store.scan_row_range("demo", 0, dataset.size)
+        np.testing.assert_allclose(inputs, dataset.inputs)
+        np.testing.assert_allclose(outputs, dataset.outputs)
+
+    def test_invalid_bounds_raise(self, store, dataset):
+        store.load_dataset(dataset)
+        with pytest.raises(StorageError):
+            store.scan_row_range("demo", -1, 10)
+        with pytest.raises(StorageError):
+            store.scan_row_range("demo", 10, 5)
+
+    def test_disjoint_windows_partition_exactly(self, store, dataset):
+        store.load_dataset(dataset)
+        windows = [
+            store.scan_row_range("demo", start, start + 100)
+            for start in range(0, 500, 100)
+        ]
+        np.testing.assert_allclose(
+            np.vstack([inputs for inputs, _ in windows]), dataset.inputs
+        )
+        np.testing.assert_allclose(
+            np.concatenate([outputs for _, outputs in windows]), dataset.outputs
+        )
+
+    def test_load_row_range_as_dataset(self, store, dataset):
+        store.load_dataset(dataset)
+        window = store.load_row_range_as_dataset("demo", 50, 150)
+        assert window.size == 100
+        assert window.domain == dataset.domain
+        np.testing.assert_allclose(window.inputs, dataset.inputs[50:150])
+        np.testing.assert_allclose(window.outputs, dataset.outputs[50:150])
+
+    def test_load_row_range_as_dataset_rejects_empty_window(self, store, dataset):
+        store.load_dataset(dataset)
+        with pytest.raises(StorageError):
+            store.load_row_range_as_dataset("demo", 500, 600)
+
+
 class TestAppendAndDrop:
     def test_append_rows_updates_count(self, store, dataset):
         store.load_dataset(dataset)
