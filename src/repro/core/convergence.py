@@ -26,12 +26,22 @@ __all__ = ["ConvergenceRecord", "ConvergenceTracker"]
 
 @dataclass(frozen=True)
 class ConvergenceRecord:
-    """One step of the convergence trajectory."""
+    """One step of the convergence trajectory.
+
+    ``winner_index`` and ``grew`` identify the LLM changed by the step when
+    the record was produced by the incremental :meth:`ConvergenceTracker.
+    observe_step` path (the equivalence suites compare winner sequences
+    across training-loop implementations through them); full
+    :meth:`ConvergenceTracker.observe` recomputations leave them at their
+    defaults.
+    """
 
     step: int
     prototype_change: float
     coefficient_change: float
     prototype_count: int
+    winner_index: int = -1
+    grew: bool = False
 
     @property
     def criterion(self) -> float:
@@ -108,11 +118,18 @@ class ConvergenceTracker:
         }
 
     def observe(self, parameters: LocalModelParameters) -> ConvergenceRecord:
-        """Record the parameter state after one training step.
+        """Record the parameter state after one training step (full recompute).
 
         Newly added prototypes (indices not present in the previous
         snapshot) contribute their full norm to the change, which correctly
         keeps the criterion high while the quantizer is still growing.
+
+        This is the O(K) reference path: it walks every LLM and therefore
+        notices *any* parameter change since the last observation.  The
+        streaming training loop, where exactly one LLM changes per step,
+        uses the O(1) :meth:`observe_step` instead; both produce identical
+        records (every unchanged LLM contributes an exact ``0.0`` to the
+        sums here, and adding ``0.0`` to a float is the identity).
         """
         current = self._snapshot(parameters)
         prototype_change = 0.0
@@ -130,12 +147,71 @@ class ConvergenceTracker:
                     np.linalg.norm(slope) + abs(mean_output)
                 )
         self._previous = current
+        return self._record(prototype_change, coefficient_change, len(parameters))
+
+    def observe_step(
+        self, parameters: LocalModelParameters, changed_index: int
+    ) -> ConvergenceRecord:
+        """Incremental form of :meth:`observe` for single-winner steps.
+
+        One step of the streaming loop changes exactly one LLM: the winner
+        moved (SGD update) or a new prototype was appended.  Maintaining
+        ``Gamma`` therefore only needs the changed LLM's delta against its
+        previous snapshot — O(d) per step instead of the O(K d) full
+        recompute — and the result is *identical* to :meth:`observe`
+        (unchanged LLMs diff to exactly zero there, and ``x + 0.0 == x``).
+
+        If the tracker's snapshot is not coherent with ``parameters`` (for
+        example a freshly reset tracker observing an already-trained model),
+        the call transparently falls back to the full recompute, which
+        re-establishes coherence.
+        """
+        count = len(parameters)
+        known = changed_index in self._previous
+        if len(self._previous) != count - (0 if known else 1):
+            # Snapshot does not cover the unchanged LLMs: a full observation
+            # is the only correct answer (and rebuilds the snapshot).
+            return self.observe(parameters)
+        llm = parameters[changed_index]
+        prototype = llm.prototype
+        slope = llm.slope
+        mean_output = llm.mean_output
+        if known:
+            prev_prototype, prev_slope, prev_mean = self._previous[changed_index]
+            prototype_change = float(np.linalg.norm(prototype - prev_prototype))
+            coefficient_change = float(
+                np.linalg.norm(slope - prev_slope) + abs(mean_output - prev_mean)
+            )
+        else:
+            prototype_change = float(np.linalg.norm(prototype))
+            coefficient_change = float(np.linalg.norm(slope) + abs(mean_output))
+        self._previous[changed_index] = (prototype, slope, mean_output)
+        return self._record(
+            prototype_change,
+            coefficient_change,
+            count,
+            winner_index=changed_index,
+            grew=not known,
+        )
+
+    def _record(
+        self,
+        prototype_change: float,
+        coefficient_change: float,
+        prototype_count: int,
+        *,
+        winner_index: int = -1,
+        grew: bool = False,
+    ) -> ConvergenceRecord:
+        """Shared bookkeeping of both observation paths."""
         self._steps += 1
         record = ConvergenceRecord(
             step=self._steps,
             prototype_change=prototype_change,
             coefficient_change=coefficient_change,
-            prototype_count=len(parameters),
+            prototype_count=prototype_count,
+            winner_index=winner_index,
+            grew=grew,
         )
         self._last_record = record
         self._recent.append(record.criterion)

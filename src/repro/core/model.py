@@ -20,7 +20,11 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..config import ModelConfig, TrainingConfig
-from ..exceptions import DimensionalityMismatchError, NotFittedError
+from ..exceptions import (
+    ConfigurationError,
+    DimensionalityMismatchError,
+    NotFittedError,
+)
 from ..queries.query import Query, QueryResultPair
 from ..queries.stream import LabelledWorkload
 from .avq import GrowingQuantizer
@@ -28,7 +32,7 @@ from .convergence import ConvergenceRecord, ConvergenceTracker
 from .learning_rates import LearningRateSchedule, get_schedule
 from .prediction import NeighborhoodPredictor, PredictionDiagnostics
 from .prototypes import LocalLinearMap, RegressionPlane
-from .sgd import apply_winner_update
+from .sgd import CHUNK_MODES, FusedTrainingKernel
 
 __all__ = ["LLMModel", "TrainingReport"]
 
@@ -123,6 +127,9 @@ class LLMModel:
             record_history=self.training.record_history,
             window=self.training.convergence_window,
         )
+        self._kernel = FusedTrainingKernel(
+            self._quantizer, self._schedule, self._tracker
+        )
         self._steps = 0
         self._frozen = False
         self._fitted = False
@@ -191,6 +198,13 @@ class LLMModel:
         any parameter, matching the paper's "at that time and onwards, the
         algorithm returns the parameter set and no further modification is
         performed".
+
+        The step runs through the fused training kernel
+        (:class:`~repro.core.sgd.FusedTrainingKernel`): winner search and
+        the Theorem-4 update operate directly on the dense parameter
+        stores, the learning-rate schedule is memoised by winner update
+        count, and the convergence criterion is maintained incrementally
+        from the changed prototype — O(d) per step instead of O(K d).
         """
         if query.dimension != self.dimension:
             raise DimensionalityMismatchError(
@@ -201,21 +215,75 @@ class LLMModel:
             assert record is not None
             return record
 
-        vector = query.to_vector()
-        winner_index, grew, _ = self._quantizer.observe(vector, answer=float(answer))
-        if not grew:
-            winner = self._quantizer.parameters[winner_index]
-            # The learning-rate schedule is indexed by the winner's own update
-            # count, so every LLM's coefficients follow their full Robbins-
-            # Monro trajectory regardless of how many other prototypes exist.
-            learning_rate = self._schedule(winner.updates)
-            apply_winner_update(winner, vector, float(answer), learning_rate)
-        self._steps += 1
-        self._fitted = True
-        record = self._tracker.observe(self._quantizer.parameters)
+        record = self._kernel.process_pair(query.to_vector(), float(answer))
+        self._absorb(record)
         if self._tracker.has_converged():
             self._frozen = True
         return record
+
+    def partial_fit_batch(
+        self,
+        queries: Sequence[Query],
+        answers: Sequence[float],
+        *,
+        within_chunk: str = "strict",
+    ) -> list[ConvergenceRecord]:
+        """Process a chunk of ``(query, answer)`` pairs in stream order.
+
+        The chunk is handed to the fused kernel as one ``(m, d + 1)``
+        matrix.  In the default ``within_chunk="strict"`` mode the result
+        is *bit-for-bit identical* to calling :meth:`partial_fit` per pair
+        (same winner sequence, same prototypes, same criterion trajectory);
+        ``within_chunk="stale-winners"`` trades strict sequencing for a
+        fused chunk-level winner-distance computation (see
+        :class:`~repro.core.sgd.FusedTrainingKernel` for the exact
+        semantics of the approximation).
+
+        Consumption stops early when the convergence criterion fires
+        mid-chunk — exactly where the sequential loop would have stopped —
+        or immediately when the model is already frozen; the records of the
+        consumed prefix are returned (so ``len(result)`` is the number of
+        pairs actually absorbed).  Dimension validation is eager over the
+        whole chunk.
+        """
+        if within_chunk not in CHUNK_MODES:
+            raise ConfigurationError(
+                f"within_chunk must be one of {CHUNK_MODES}, got "
+                f"{within_chunk!r}"
+            )
+        batch = list(queries)
+        values = [float(answer) for answer in answers]
+        if len(batch) != len(values):
+            raise ValueError(
+                f"got {len(batch)} queries but {len(values)} answers"
+            )
+        for query in batch:
+            if query.dimension != self.dimension:
+                raise DimensionalityMismatchError(
+                    f"query has dimension {query.dimension}, model expects "
+                    f"{self.dimension}"
+                )
+        if self._frozen or not batch:
+            return []
+        matrix = np.vstack([query.to_vector() for query in batch])
+        records = self._kernel.process_chunk(
+            matrix, values, within_chunk=within_chunk
+        )
+        for record in records:
+            self._absorb(record)
+        if self._tracker.has_converged():
+            self._frozen = True
+        return records
+
+    def _absorb(self, record: ConvergenceRecord) -> None:
+        """Fold one kernel step into the model's bookkeeping.
+
+        The changed LLM is identified by the record's ``winner_index`` /
+        ``grew`` fields (and by the tracker's history when recording is on).
+        """
+        del record  # the step itself already mutated the parameter stores
+        self._steps += 1
+        self._fitted = True
 
     def fit(
         self,
@@ -269,6 +337,9 @@ class LLMModel:
         """Drop every prototype and restart the training state."""
         self._quantizer = GrowingQuantizer(vigilance=self._vigilance)
         self._tracker.reset()
+        self._kernel = FusedTrainingKernel(
+            self._quantizer, self._schedule, self._tracker
+        )
         self._steps = 0
         self._frozen = False
         self._fitted = False

@@ -109,11 +109,17 @@ class LocalLinearMap:
 
     __slots__ = (
         "_prototype",
-        "_mean_output",
         "_slope",
-        "updates",
-        "_difference_second_moment",
+        "_scalars",
     )
+
+    #: Column layout of the per-LLM scalar triple (shared with the dense
+    #: scalar store of :class:`LocalModelParameters`): the local intercept
+    #: ``y_k``, the running second moment of ``||q - w||^2``, and the winner
+    #: update count (kept as a float so the triple lives in one row).
+    SCALAR_MEAN = 0
+    SCALAR_SECOND_MOMENT = 1
+    SCALAR_UPDATES = 2
 
     def __init__(
         self,
@@ -128,7 +134,6 @@ class LocalLinearMap:
                 f"got {proto.shape[0]}"
             )
         self._prototype = proto
-        self._mean_output = float(mean_output)
         if slope is None:
             self._slope = np.zeros_like(proto)
         else:
@@ -139,11 +144,10 @@ class LocalLinearMap:
                     f"{proto.shape}"
                 )
             self._slope = slope_arr
-        #: Number of winner updates this LLM has received (diagnostics).
-        self.updates = 0
-        # Running mean of ||q - w||^2 over the winner updates; used by the
-        # slope step normalisation (see :mod:`repro.core.sgd`).
-        self._difference_second_moment = 0.0
+        # [intercept, running second moment of ||q - w||^2, update count];
+        # rebound to a row of the dense scalar store on attachment so the
+        # fused training kernel's writes and the object accessors agree.
+        self._scalars = np.array([float(mean_output), 0.0, 0.0], dtype=float)
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -179,7 +183,16 @@ class LocalLinearMap:
     @property
     def mean_output(self) -> float:
         """The local intercept ``y_k``."""
-        return self._mean_output
+        return float(self._scalars[self.SCALAR_MEAN])
+
+    @property
+    def updates(self) -> int:
+        """Number of winner updates this LLM has received (diagnostics)."""
+        return int(self._scalars[self.SCALAR_UPDATES])
+
+    @updates.setter
+    def updates(self, value: int) -> None:
+        self._scalars[self.SCALAR_UPDATES] = float(value)
 
     @property
     def slope(self) -> np.ndarray:
@@ -222,7 +235,7 @@ class LocalLinearMap:
                 f"query vector shape {vec.shape} does not match prototype shape "
                 f"{self._prototype.shape}"
             )
-        return float(self._mean_output + self._slope @ (vec - self._prototype))
+        return float(self._scalars[self.SCALAR_MEAN] + self._slope @ (vec - self._prototype))
 
     def evaluate_query(self, query: Query) -> float:
         """Evaluate the LLM on a :class:`~repro.queries.query.Query` object."""
@@ -239,7 +252,7 @@ class LocalLinearMap:
             raise DimensionalityMismatchError(
                 f"point has dimension {x.shape[0]}, LLM expects {self.dimension}"
             )
-        return float(self._mean_output + self.center_slope @ (x - self.center))
+        return float(self._scalars[self.SCALAR_MEAN] + self.center_slope @ (x - self.center))
 
     def regression_plane(self, weight: float = 1.0) -> RegressionPlane:
         """Project the LLM onto the data space (Theorem 3).
@@ -248,7 +261,7 @@ class LocalLinearMap:
         ``u ≈ y_k + b_{X,k} (x - x_k)^T``, i.e. a plane with slope
         ``b_{X,k}`` and intercept ``y_k - b_{X,k} x_k^T``.
         """
-        intercept = self._mean_output - float(self.center_slope @ self.center)
+        intercept = float(self._scalars[self.SCALAR_MEAN]) - float(self.center_slope @ self.center)
         return RegressionPlane(
             intercept=intercept,
             slope=self.center_slope,
@@ -264,16 +277,24 @@ class LocalLinearMap:
     # ------------------------------------------------------------------ #
     # in-place parameter updates (used by the SGD rules)
     # ------------------------------------------------------------------ #
-    def _attach_prototype_storage(self, row: np.ndarray) -> None:
-        """Rebind the prototype vector to a row of a shared dense matrix.
+    def _attach_storage(
+        self,
+        prototype_row: np.ndarray,
+        slope_row: np.ndarray,
+        scalar_row: np.ndarray,
+    ) -> None:
+        """Rebind every parameter to rows of the shared dense stores.
 
-        :class:`LocalModelParameters` keeps every prototype in one
-        capacity-doubling ``(K, d + 1)`` array; after attachment the LLM's
-        in-place prototype updates write straight through to that matrix, so
-        the winner-search path never has to re-stack ``K`` rows.  The row is
-        expected to already hold the current prototype values.
+        :class:`LocalModelParameters` keeps the prototypes, slopes and the
+        scalar triples in capacity-doubling dense arrays; after attachment
+        the LLM's in-place updates write straight through to those arrays,
+        so neither the winner-search path nor the fused training kernel ever
+        has to re-stack ``K`` rows.  The rows are expected to already hold
+        the current parameter values.
         """
-        self._prototype = row
+        self._prototype = prototype_row
+        self._slope = slope_row
+        self._scalars = scalar_row
 
     def shift_prototype(self, delta: np.ndarray) -> None:
         """Add ``delta`` to the prototype vector in place."""
@@ -285,20 +306,20 @@ class LocalLinearMap:
 
     def shift_mean_output(self, delta: float) -> None:
         """Add ``delta`` to the local intercept in place."""
-        self._mean_output += float(delta)
+        self._scalars[self.SCALAR_MEAN] += float(delta)
 
     @property
     def difference_second_moment(self) -> float:
         """Running mean of ``||q - w||^2`` over the winner updates so far."""
-        return self._difference_second_moment
+        return float(self._scalars[self.SCALAR_SECOND_MOMENT])
 
     def update_difference_second_moment(self, squared_norm: float) -> float:
         """Fold one observed ``||q - w||^2`` into the running mean and return it."""
         count = self.updates + 1
-        self._difference_second_moment += (
-            float(squared_norm) - self._difference_second_moment
-        ) / count
-        return self._difference_second_moment
+        current = float(self._scalars[self.SCALAR_SECOND_MOMENT])
+        current += (float(squared_norm) - current) / count
+        self._scalars[self.SCALAR_SECOND_MOMENT] = current
+        return current
 
     # ------------------------------------------------------------------ #
     # serialisation
@@ -307,10 +328,10 @@ class LocalLinearMap:
         """Serialise the LLM parameters to plain Python types."""
         return {
             "prototype": self._prototype.tolist(),
-            "mean_output": self._mean_output,
+            "mean_output": self.mean_output,
             "slope": self._slope.tolist(),
             "updates": self.updates,
-            "difference_second_moment": self._difference_second_moment,
+            "difference_second_moment": self.difference_second_moment,
         }
 
     @classmethod
@@ -322,7 +343,7 @@ class LocalLinearMap:
             slope=np.asarray(payload["slope"], dtype=float),
         )
         llm.updates = int(payload.get("updates", 0))
-        llm._difference_second_moment = float(
+        llm._scalars[cls.SCALAR_SECOND_MOMENT] = float(
             payload.get("difference_second_moment", 0.0)
         )
         return llm
@@ -330,7 +351,7 @@ class LocalLinearMap:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"LocalLinearMap(center={np.array2string(self.center, precision=3)}, "
-            f"radius={self.radius:.3g}, y={self._mean_output:.3g}, "
+            f"radius={self.radius:.3g}, y={self.mean_output:.3g}, "
             f"updates={self.updates})"
         )
 
@@ -343,19 +364,27 @@ _INITIAL_CAPACITY = 8
 class LocalModelParameters:
     """The full parameter set ``alpha = {(y_k, b_k, w_k)}`` of a trained model.
 
-    The prototypes are additionally mirrored in one capacity-doubling dense
-    ``(K, d + 1)`` matrix.  Each :class:`LocalLinearMap` added here has its
-    prototype rebound to a row view of that matrix, so the SGD's in-place
-    prototype updates write through and :meth:`prototype_view` is always
-    current without re-stacking ``K`` rows — amortised O(1) maintenance per
-    training step instead of O(K) allocation.  An LLM should therefore belong
-    to at most one parameter set at a time.
+    Every parameter is additionally mirrored in capacity-doubling dense
+    arrays: a ``(K, d + 1)`` prototype matrix, a ``(K, d + 1)`` slope matrix
+    and a ``(K, 3)`` scalar matrix holding each LLM's intercept, second
+    moment and update count (see the ``SCALAR_*`` columns of
+    :class:`LocalLinearMap`).  Each :class:`LocalLinearMap` added here has
+    its parameters rebound to row views of those arrays, so the SGD's
+    in-place updates write through, :meth:`prototype_view` is always current
+    without re-stacking ``K`` rows, and the fused training kernel
+    (:class:`~repro.core.sgd.FusedTrainingKernel`) can run whole chunks of
+    winner searches and winner updates directly against the dense arrays
+    with no per-step Python-object churn — amortised O(1) maintenance per
+    training step instead of O(K) allocation.  An LLM should therefore
+    belong to at most one parameter set at a time.
     """
 
     maps: list[LocalLinearMap] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self._store: np.ndarray | None = None
+        self._slope_store: np.ndarray | None = None
+        self._scalar_store: np.ndarray | None = None
         self._maps_view: tuple[LocalLinearMap, ...] | None = None
         initial = list(self.maps)
         self.maps = []
@@ -401,6 +430,26 @@ class LocalModelParameters:
         view.setflags(write=False)
         return view
 
+    def training_views(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Writable ``(K, ·)`` row views of the dense parameter stores.
+
+        Returns ``(prototypes, slopes, scalars)`` trimmed to the current
+        prototype count.  This is the fused training kernel's write-through
+        API: mutations are immediately visible to the attached
+        :class:`LocalLinearMap` objects (and vice versa) because both alias
+        the same capacity-doubling storage.  The views are invalidated by
+        the next :meth:`add` that doubles capacity, so callers must re-fetch
+        them after any growth event.
+        """
+        count = len(self.maps)
+        assert self._store is not None, "no prototypes yet"
+        assert self._slope_store is not None and self._scalar_store is not None
+        return (
+            self._store[:count],
+            self._slope_store[:count],
+            self._scalar_store[:count],
+        )
+
     def add(self, llm: LocalLinearMap) -> None:
         """Append a new LLM (used when the quantizer grows)."""
         if self.maps and llm.dimension != self.maps[0].dimension:
@@ -408,19 +457,43 @@ class LocalModelParameters:
                 "all LLMs in a parameter set must share the same dimensionality"
             )
         row = llm.prototype
+        slope_row = llm.slope
+        scalar_row = llm._scalars.copy()
         count = len(self.maps)
         if self._store is None:
             self._store = np.empty((_INITIAL_CAPACITY, row.shape[0]), dtype=float)
+            self._slope_store = np.empty_like(self._store)
+            self._scalar_store = np.empty((_INITIAL_CAPACITY, 3), dtype=float)
         elif count == self._store.shape[0]:
-            grown = np.empty((2 * count, row.shape[0]), dtype=float)
-            grown[:count] = self._store[:count]
-            self._store = grown
+            # Double all three stores together and re-attach every existing
+            # LLM to its new rows (values are copied bit-for-bit, so the
+            # resize is invisible to convergence tracking and to the kernel).
+            self._store = self._grown(self._store, count)
+            self._slope_store = self._grown(self._slope_store, count)
+            self._scalar_store = self._grown(self._scalar_store, count)
             for index, existing in enumerate(self.maps):
-                existing._attach_prototype_storage(self._store[index])
+                existing._attach_storage(
+                    self._store[index],
+                    self._slope_store[index],
+                    self._scalar_store[index],
+                )
+        assert self._slope_store is not None and self._scalar_store is not None
         self._store[count] = row
-        llm._attach_prototype_storage(self._store[count])
+        self._slope_store[count] = slope_row
+        self._scalar_store[count] = scalar_row
+        llm._attach_storage(
+            self._store[count],
+            self._slope_store[count],
+            self._scalar_store[count],
+        )
         self.maps.append(llm)
         self._maps_view = None
+
+    @staticmethod
+    def _grown(store: np.ndarray, count: int) -> np.ndarray:
+        grown = np.empty((2 * count, store.shape[1]), dtype=float)
+        grown[:count] = store[:count]
+        return grown
 
     def snapshot(self) -> list[dict]:
         """Serialise every LLM (used by persistence and convergence tests)."""

@@ -34,13 +34,24 @@ DESIGN.md records this substitution.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..exceptions import ConfigurationError
 from .prototypes import LocalLinearMap
 
-__all__ = ["WinnerUpdate", "apply_winner_update"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dbms.spatial_index import PrototypeIndex
+    from .avq import GrowingQuantizer
+    from .convergence import ConvergenceRecord, ConvergenceTracker
+    from .learning_rates import LearningRateSchedule
+
+__all__ = ["WinnerUpdate", "apply_winner_update", "FusedTrainingKernel", "CHUNK_MODES"]
+
+#: The chunk-processing modes of :meth:`FusedTrainingKernel.process_chunk`
+#: (and of every API forwarding a ``within_chunk`` argument to it).
+CHUNK_MODES = ("strict", "stale-winners")
 
 
 @dataclass(frozen=True)
@@ -124,3 +135,321 @@ def apply_winner_update(
         intercept_shift=float(intercept_delta),
         prediction_error=prediction_error,
     )
+
+
+#: Prototype count at which the fused kernel starts pruning the winner scan
+#: through a :class:`~repro.dbms.spatial_index.PrototypeIndex`.  The dense
+#: (K, d + 1) scan is a handful of vectorised operations, so the grid lookup
+#: only amortises its per-step Python overhead once K reaches the low
+#: thousands — the same crossover the prediction paths measured.
+DEFAULT_WINNER_PRUNING_THRESHOLD = 2048
+
+#: Fraction of the vigilance radius the prototypes may accumulate as total
+#: movement before the winner-pruning index is rebuilt.  Until then the
+#: index is probed with the movement bound added to the reach, which keeps
+#: the candidate set an exact superset of every prototype within vigilance.
+_INDEX_SLACK_FRACTION = 0.25
+
+#: Number of prototypes grown after an index build before the index is
+#: rebuilt (fresh prototypes are scanned densely until then).
+_INDEX_FRESH_LIMIT = 64
+
+#: Element budget of one block of the stale-winners distance matrix
+#: (``block_rows x K x (d + 1)``); keeps the fused distance computation
+#: cache-resident for large chunks against large prototype sets.
+_STALE_BLOCK_ELEMENTS = 4_000_000
+
+
+class FusedTrainingKernel:
+    """Chunk-oriented training updates fused over the dense parameter stores.
+
+    One step of Algorithm 1 is a winner search, an optional growth event, a
+    Theorem-4 winner update and a convergence observation.  The kernel runs
+    all four directly against the capacity-doubling dense arrays of
+    :class:`~repro.core.prototypes.LocalModelParameters` — no
+    :class:`~repro.core.prototypes.LocalLinearMap` attribute churn, no
+    per-step parameter re-stacking, an O(1) incremental ``Gamma`` via
+    :meth:`~repro.core.convergence.ConvergenceTracker.observe_step`, and a
+    memoised learning-rate schedule — while performing *bit-for-bit* the
+    same floating-point operations as the sequential
+    ``GrowingQuantizer.observe`` + :func:`apply_winner_update` +
+    ``ConvergenceTracker.observe`` step (the training equivalence suite
+    pins this).
+
+    Two chunk modes are offered by :meth:`process_chunk`:
+
+    * ``"strict"`` (default) — pairs are processed one at a time in stream
+      order; every winner is selected against the *current* prototype
+      matrix.  Results are bitwise-identical to calling
+      :meth:`process_pair` per pair, and therefore to the sequential loop.
+    * ``"stale-winners"`` — the distances of the whole chunk to the
+      chunk-start prototypes are computed in one fused block operation;
+      per-pair winner selection then reads the precomputed row (stale with
+      respect to intra-chunk prototype *motion*) plus exact distances to
+      any prototypes *grown* within the chunk.  The Theorem-4 update itself
+      still uses the winner's current parameters, so only the selection is
+      approximate.  This trades strict sequencing for O(d) per-pair
+      selection cost and is measured (divergence included) by
+      ``benchmarks/bench_training_throughput.py``.
+
+    When ``K`` reaches ``prune_threshold`` the strict path additionally
+    prunes the winner scan through a
+    :class:`~repro.dbms.spatial_index.PrototypeIndex` over a snapshot of
+    the prototype matrix: the index is probed with the vigilance radius
+    plus the total prototype movement accumulated since the snapshot (an
+    upper bound on any single prototype's displacement), so the candidate
+    set provably contains every prototype within vigilance of the query and
+    the selected winner — including tie-breaking towards the lowest index —
+    is identical to the dense scan's.  Prototypes grown since the snapshot
+    are scanned densely; the index is rebuilt once the movement bound or the
+    fresh-prototype count exceeds its budget.
+    """
+
+    def __init__(
+        self,
+        quantizer: "GrowingQuantizer",
+        schedule: "LearningRateSchedule",
+        tracker: "ConvergenceTracker",
+        *,
+        prune_threshold: int | None = DEFAULT_WINNER_PRUNING_THRESHOLD,
+    ) -> None:
+        self._quantizer = quantizer
+        self._schedule = schedule
+        self._tracker = tracker
+        self._vigilance = float(quantizer.vigilance)
+        self._rates: list[float] = []
+        self._prune_threshold = prune_threshold
+        self._index: "PrototypeIndex | None" = None
+        self._index_size = 0
+        self._index_slack = 0.0
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def process_pair(self, vector: np.ndarray, answer: float) -> "ConvergenceRecord":
+        """Process one ``(query vector, answer)`` pair (one Algorithm-1 step).
+
+        Returns the convergence record of the step; its ``winner_index`` /
+        ``grew`` fields identify the changed LLM.
+        """
+        parameters = self._quantizer.parameters
+        count = len(parameters.maps)
+        if count == 0:
+            return self._grow(parameters, vector, answer)
+        prototypes, slopes, scalars = parameters.training_views()
+        if (
+            self._prune_threshold is not None
+            and count >= self._prune_threshold
+        ):
+            winner, within = self._pruned_winner(prototypes, vector)
+        else:
+            # Same operations as GrowingQuantizer.find_winner on the dense
+            # store: one broadcast subtraction, one row-norm, one argmin.
+            distances = np.linalg.norm(
+                prototypes - vector[np.newaxis, :], axis=1
+            )
+            winner = int(np.argmin(distances))
+            within = bool(distances[winner] <= self._vigilance)
+        if not within:
+            return self._grow(parameters, vector, answer)
+        self._apply_update(prototypes, slopes, scalars, winner, vector, answer)
+        return self._tracker.observe_step(parameters, winner)
+
+    def process_chunk(
+        self,
+        matrix: np.ndarray,
+        answers: "list[float]",
+        *,
+        within_chunk: str = "strict",
+    ) -> "list[ConvergenceRecord]":
+        """Process a chunk of pairs, stopping at the convergence criterion.
+
+        ``matrix`` is the ``(m, d + 1)`` stack of query vectors in stream
+        order and ``answers`` the matching exact answers.  Processing stops
+        *after* the pair whose observation satisfies the tracker's
+        termination criterion, exactly as the sequential loop's
+        frozen-check-at-loop-top does; the records of the consumed prefix
+        are returned.
+        """
+        if within_chunk not in CHUNK_MODES:
+            raise ConfigurationError(
+                f"within_chunk must be one of {CHUNK_MODES}, got "
+                f"{within_chunk!r}"
+            )
+        records: "list[ConvergenceRecord]" = []
+        if within_chunk == "strict":
+            for position in range(matrix.shape[0]):
+                records.append(
+                    self.process_pair(matrix[position], answers[position])
+                )
+                if self._tracker.has_converged():
+                    break
+            return records
+        return self._process_chunk_stale(matrix, answers)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _rate(self, step: int) -> float:
+        """Memoised learning-rate schedule (schedules are pure functions)."""
+        rates = self._rates
+        while len(rates) <= step:
+            rates.append(self._schedule(len(rates)))
+        return rates[step]
+
+    def _grow(self, parameters, vector: np.ndarray, answer: float):
+        """Append a new prototype at the query position (growth event)."""
+        parameters.add(LocalLinearMap(prototype=vector, mean_output=answer))
+        self._quantizer.growth_events += 1
+        return self._tracker.observe_step(parameters, len(parameters) - 1)
+
+    def _apply_update(
+        self,
+        prototypes: np.ndarray,
+        slopes: np.ndarray,
+        scalars: np.ndarray,
+        winner: int,
+        vector: np.ndarray,
+        answer: float,
+    ) -> None:
+        """The Theorem-4 winner update, written through the dense stores.
+
+        Bit-for-bit the operation sequence of :func:`apply_winner_update`
+        (same expressions, same order, same scalar round-trips), minus the
+        per-step object and property traffic.
+        """
+        difference = vector - prototypes[winner]
+        mean_output = float(scalars[winner, LocalLinearMap.SCALAR_MEAN])
+        prediction_error = float(
+            answer - mean_output - slopes[winner] @ difference
+        )
+        updates = int(scalars[winner, LocalLinearMap.SCALAR_UPDATES])
+        learning_rate = self._rate(updates)
+
+        prototype_delta = learning_rate * difference
+        intercept_delta = learning_rate * prediction_error
+
+        squared_norm = float(difference @ difference)
+        count = updates + 1
+        second_moment = float(scalars[winner, LocalLinearMap.SCALAR_SECOND_MOMENT])
+        second_moment += (squared_norm - second_moment) / count
+        residual_error = prediction_error - intercept_delta
+        denominator = second_moment + squared_norm
+
+        prototypes[winner] += prototype_delta
+        if denominator > 0.0:
+            slopes[winner] += (
+                learning_rate * residual_error * difference / denominator
+            )
+        scalars[winner, LocalLinearMap.SCALAR_MEAN] = mean_output + intercept_delta
+        scalars[winner, LocalLinearMap.SCALAR_SECOND_MOMENT] = second_moment
+        scalars[winner, LocalLinearMap.SCALAR_UPDATES] = float(count)
+        if self._index is not None:
+            # Upper-bound on any prototype's displacement since the index
+            # snapshot; added to the probe reach until the next rebuild.
+            self._index_slack += float(np.linalg.norm(prototype_delta))
+
+    def _pruned_winner(
+        self, prototypes: np.ndarray, vector: np.ndarray
+    ) -> tuple[int, bool]:
+        """Winner search through the pruning index (large-K fast path).
+
+        Returns ``(winner, within_vigilance)``; the winner is only
+        meaningful when ``within_vigilance`` is true — and is then provably
+        identical to the dense scan's argmin (every prototype within
+        vigilance is a candidate, and candidate order is ascending, so ties
+        resolve to the same index).
+        """
+        count = prototypes.shape[0]
+        if (
+            self._index is None
+            or self._index_slack > _INDEX_SLACK_FRACTION * self._vigilance
+            or count - self._index_size > _INDEX_FRESH_LIMIT
+        ):
+            from ..dbms.spatial_index import PrototypeIndex
+
+            self._index = PrototypeIndex(prototypes.copy())
+            self._index_size = count
+            self._index_slack = 0.0
+        # candidates() inflates its probe by the build-time max prototype
+        # radius (an overlap-query bound); the winner search only needs the
+        # center-space ball of vigilance + slack, so the inflation is
+        # subtracted out here (clamped at 0, where the effective reach
+        # max_radius still covers vigilance + slack).
+        candidates = self._index.candidates(
+            vector[:-1],
+            max(
+                self._vigilance + self._index_slack - self._index.max_radius,
+                0.0,
+            ),
+        )
+        if self._index_size < count:
+            candidates = np.concatenate(
+                [candidates, np.arange(self._index_size, count, dtype=np.int64)]
+            )
+        if candidates.size == 0:
+            return -1, False
+        distances = np.linalg.norm(
+            prototypes[candidates] - vector[np.newaxis, :], axis=1
+        )
+        best = int(np.argmin(distances))
+        if distances[best] <= self._vigilance:
+            return int(candidates[best]), True
+        return -1, False
+
+    def _process_chunk_stale(
+        self, matrix: np.ndarray, answers: "list[float]"
+    ) -> "list[ConvergenceRecord]":
+        """The ``within_chunk="stale-winners"`` mode (documented deviation).
+
+        Distances to the chunk-start prototypes are fused into one blocked
+        matrix computation; intra-chunk growth is still checked exactly so a
+        burst of out-of-vigilance queries cannot spawn duplicate prototypes.
+        """
+        parameters = self._quantizer.parameters
+        base_count = len(parameters.maps)
+        stale_distances: np.ndarray | None = None
+        if base_count:
+            base = parameters.training_views()[0].copy()
+            stale_distances = np.empty((matrix.shape[0], base_count))
+            block = max(
+                1, _STALE_BLOCK_ELEMENTS // max(base_count * matrix.shape[1], 1)
+            )
+            for start in range(0, matrix.shape[0], block):
+                stop = start + block
+                stale_distances[start:stop] = np.linalg.norm(
+                    matrix[start:stop, np.newaxis, :] - base[np.newaxis, :, :],
+                    axis=2,
+                )
+        records: "list[ConvergenceRecord]" = []
+        for position in range(matrix.shape[0]):
+            vector = matrix[position]
+            answer = answers[position]
+            count = len(parameters.maps)
+            winner = -1
+            best = np.inf
+            if stale_distances is not None:
+                row = stale_distances[position]
+                winner = int(np.argmin(row))
+                best = float(row[winner])
+            if count > base_count:
+                # Prototypes grown within this chunk: exact distances.
+                fresh = parameters.training_views()[0][base_count:count]
+                fresh_distances = np.linalg.norm(
+                    fresh - vector[np.newaxis, :], axis=1
+                )
+                challenger = int(np.argmin(fresh_distances))
+                if float(fresh_distances[challenger]) < best:
+                    winner = base_count + challenger
+                    best = float(fresh_distances[challenger])
+            if count == 0 or best > self._vigilance:
+                records.append(self._grow(parameters, vector, answer))
+            else:
+                prototypes, slopes, scalars = parameters.training_views()
+                self._apply_update(
+                    prototypes, slopes, scalars, winner, vector, answer
+                )
+                records.append(self._tracker.observe_step(parameters, winner))
+            if self._tracker.has_converged():
+                break
+        return records

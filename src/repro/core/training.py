@@ -7,19 +7,36 @@ converges, query processing switches to the trained model and stops touching
 the data.  :class:`StreamingTrainer` drives that loop and keeps the cost
 accounting (how much time was spent executing queries vs. updating the
 model) that Section VI-B reports.
+
+The paper measures ~99.6% of training wall-clock going to executing the
+training queries against the DBMS, which makes the training loop the
+system's dominant cost.  :meth:`StreamingTrainer.train` therefore runs as a
+*pipelined, vectorized* loop: queries are pulled in chunks and labelled
+through the engine's batched exact path (``execute_q1_batch`` — the
+segmented indexed pipeline on a single engine, the fan-out/merge path on a
+sharded engine), the model consumes each chunk through the fused update
+kernel (:class:`~repro.core.sgd.FusedTrainingKernel`), and an optional
+prefetch thread executes chunk ``k + 1`` while the model is still absorbing
+chunk ``k`` so engine time and model-update time overlap.  In the default
+``within_chunk="strict"`` mode the produced model is *bit-for-bit*
+identical to the sequential per-query loop over the same labelled answers
+(same winner sequence, prototypes and criterion trajectory — the training
+equivalence suite pins this).
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from ..dbms.executor import ExactQueryEngine
 from ..dbms.sharding import ShardedQueryEngine
-from ..exceptions import EmptySubspaceError
-from ..queries.query import Query, QueryResultPair
+from ..exceptions import ConfigurationError, EmptySubspaceError
+from ..queries.query import Query, QueryAnswer, QueryResultPair
 from .model import LLMModel
+from .sgd import CHUNK_MODES
 
 __all__ = ["StreamingTrainer", "TrainingCostBreakdown", "ExactEngine"]
 
@@ -27,6 +44,18 @@ __all__ = ["StreamingTrainer", "TrainingCostBreakdown", "ExactEngine"]
 #: executor or the sharded parallel engine (both expose ``execute_q1`` /
 #: ``execute_q1_batch`` with identical semantics).
 ExactEngine = ExactQueryEngine | ShardedQueryEngine
+
+#: Default training chunk size: matches :meth:`StreamingTrainer.
+#: label_queries` and amortises the engine's per-batch overheads without
+#: growing the documented read-ahead beyond a few hundred queries.
+DEFAULT_TRAIN_BATCH_SIZE = 256
+
+
+def _empty_subspace_error(query: Query) -> EmptySubspaceError:
+    """The error surfaced when an empty subspace is consumed un-skipped."""
+    return EmptySubspaceError(
+        f"query {query!r} selected no rows; its Q1 answer is undefined"
+    )
 
 
 @dataclass
@@ -37,6 +66,14 @@ class TrainingCostBreakdown:
     queries against the DBMS (a cost any system would pay) rather than to
     model updates.  This breakdown lets the benchmarks report the same
     split.
+
+    ``query_execution_seconds`` counts the engine time of *every executed
+    chunk*, including queries that turned out to select no rows (skipped
+    pairs pay the same engine cost as processed ones) and, under
+    ``prefetch=True``, an in-flight chunk that convergence made redundant —
+    engine time the run actually spent.  With ``prefetch=True`` the engine
+    and model times overlap in wall-clock, so their sum can exceed the
+    elapsed time of the call.
     """
 
     query_execution_seconds: float = 0.0
@@ -46,6 +83,7 @@ class TrainingCostBreakdown:
     converged: bool = False
     final_prototype_count: int = 0
     criterion_trajectory: list[float] = field(default_factory=list)
+    chunks_executed: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -71,12 +109,17 @@ class StreamingTrainer:
     engine:
         The exact engine answering the training queries — either a
         single-node :class:`~repro.dbms.executor.ExactQueryEngine` or a
-        :class:`~repro.dbms.sharding.ShardedQueryEngine`; the sharded
-        engine's batch paths make :meth:`label_queries` scale across
-        cores on large stored datasets.
+        :class:`~repro.dbms.sharding.ShardedQueryEngine`; both
+        :meth:`train` and :meth:`label_queries` go through the engine's
+        batched exact path, so a sharded engine fans every chunk out
+        across its shard workers.
     skip_empty_subspaces:
         When ``True`` (default), queries that select no rows are skipped
-        (they have no defined answer); otherwise the exception propagates.
+        (they have no defined answer); otherwise an
+        :class:`~repro.exceptions.EmptySubspaceError` is raised when the
+        empty query is *consumed*, i.e. after the pairs preceding it in
+        the stream have updated the model — the same model state the
+        sequential loop would leave behind.
     """
 
     def __init__(
@@ -90,40 +133,17 @@ class StreamingTrainer:
         self.engine = engine
         self.skip_empty_subspaces = bool(skip_empty_subspaces)
 
-    def train(self, queries: Iterable[Query]) -> TrainingCostBreakdown:
-        """Consume queries until the model converges or the stream ends."""
-        breakdown = TrainingCostBreakdown()
-        for query in queries:
-            if self.model.is_frozen:
-                break
-            started = time.perf_counter()
-            try:
-                answer = self.engine.execute_q1(query).mean
-            except EmptySubspaceError:
-                if self.skip_empty_subspaces:
-                    breakdown.pairs_skipped += 1
-                    continue
-                raise
-            executed = time.perf_counter()
-            record = self.model.partial_fit(query, answer)
-            updated = time.perf_counter()
-
-            breakdown.query_execution_seconds += executed - started
-            breakdown.model_update_seconds += updated - executed
-            breakdown.pairs_processed += 1
-            breakdown.criterion_trajectory.append(record.criterion)
-        breakdown.converged = self.model.is_frozen
-        breakdown.final_prototype_count = self.model.prototype_count
-        return breakdown
-
-    def _resolve_labelling_engine(
+    # ------------------------------------------------------------------ #
+    # engine selection / chunk execution (shared by train and label_queries)
+    # ------------------------------------------------------------------ #
+    def _resolve_engine(
         self, engine: "ExactEngine | str | None"
     ) -> tuple[ExactEngine, str | None]:
-        """Resolve ``label_queries``'s engine selector.
+        """Resolve the ``engine`` selector of :meth:`train` / :meth:`label_queries`.
 
         Returns ``(engine, forced_route)``: ``forced_route`` is the routing
-        policy to apply on a sharded engine for the duration of the
-        labelling run (``None`` leaves the engine's own policy untouched).
+        policy to scope onto each batch call of a sharded engine (``None``
+        leaves the engine's own policy untouched).
         """
         if engine is None or engine == "default":
             return self.engine, None
@@ -136,6 +156,221 @@ class StreamingTrainer:
             )
         return engine, None
 
+    @staticmethod
+    def _execute_chunk(
+        engine: ExactEngine,
+        chunk: list[Query],
+        forced_route: str | None,
+    ) -> tuple[list[QueryAnswer | None], float]:
+        """Execute one chunk through the batched exact path, timing it.
+
+        Empty subspaces come back as ``None`` slots (the consumer decides
+        whether to skip or raise); a forced route is passed as a
+        call-scoped override, so no engine state is mutated.
+        """
+        started = time.perf_counter()
+        if forced_route is not None and isinstance(engine, ShardedQueryEngine):
+            answers = engine.execute_q1_batch(
+                chunk, on_empty="null", route=forced_route
+            )
+        else:
+            answers = engine.execute_q1_batch(chunk, on_empty="null")
+        return answers, time.perf_counter() - started
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def train(
+        self,
+        queries: Iterable[Query],
+        *,
+        batch_size: int = DEFAULT_TRAIN_BATCH_SIZE,
+        prefetch: bool = False,
+        engine: "ExactEngine | str | None" = None,
+        within_chunk: str = "strict",
+    ) -> TrainingCostBreakdown:
+        """Consume queries until the model converges or the stream ends.
+
+        The stream is pulled in chunks of ``batch_size`` and labelled
+        through the engine's ``execute_q1_batch``; the model absorbs each
+        chunk through :meth:`~repro.core.model.LLMModel.partial_fit_batch`.
+        In the default ``within_chunk="strict"`` mode the trained model is
+        bit-for-bit identical to the sequential per-query loop (one
+        ``execute_q1_batch([q])`` call per query followed by
+        ``partial_fit``) over the same stream — chunking and prefetching
+        change only the cost profile, never the result.
+
+        Parameters
+        ----------
+        queries:
+            The training query stream.
+        batch_size:
+            Queries labelled per engine call.  ``1`` recovers the strictly
+            lazy per-query loop.
+        prefetch:
+            Double-buffer the engine: a background thread executes chunk
+            ``k + 1`` while the model consumes chunk ``k``, overlapping
+            engine time with model-update time.  Worth it when the engine
+            releases the GIL (the NumPy scan/solve kernels do) and a spare
+            core exists; on a single core it merely interleaves.
+        engine:
+            ``None``/``"default"`` uses the trainer's engine as configured;
+            ``"auto"`` enables adaptive routing for this run on a
+            :class:`~repro.dbms.sharding.ShardedQueryEngine` (scoped to
+            each batch call, never mutating the engine's policy) and is a
+            no-op on a single-node engine; an explicit engine instance
+            trains through that engine instead.
+        within_chunk:
+            ``"strict"`` (default) preserves the sequential semantics
+            exactly; ``"stale-winners"`` selects winners against the
+            chunk-start prototype matrix in one fused computation (see
+            :class:`~repro.core.sgd.FusedTrainingKernel`), trading strict
+            sequencing for larger fused updates.
+
+        Read-ahead
+        ----------
+        Like :meth:`label_queries`, the chunked loop pulls up to
+        ``batch_size`` queries from the source iterable and executes them
+        *before* the first pair is consumed, so convergence mid-chunk stops
+        the stream without consuming further input but the in-flight chunk
+        has already been drawn (and executed); with ``prefetch=True`` the
+        read-ahead is up to *two* chunks, and an already-dispatched chunk
+        is drained (its engine time is accounted) before the call returns.
+        A shared source iterator is therefore advanced by whole chunks;
+        pass ``batch_size=1`` to recover one-query-per-step consumption.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if within_chunk not in CHUNK_MODES:
+            raise ConfigurationError(
+                f"within_chunk must be one of {CHUNK_MODES}, got "
+                f"{within_chunk!r}"
+            )
+        target, forced_route = self._resolve_engine(engine)
+        if forced_route is not None and not isinstance(target, ShardedQueryEngine):
+            forced_route = None
+        breakdown = TrainingCostBreakdown()
+        iterator = iter(queries)
+
+        def pull() -> list[Query]:
+            chunk: list[Query] = []
+            for query in iterator:
+                chunk.append(query)
+                if len(chunk) >= batch_size:
+                    break
+            return chunk
+
+        if prefetch:
+            self._train_prefetched(target, forced_route, pull, breakdown, within_chunk)
+        else:
+            while not self.model.is_frozen:
+                chunk = pull()
+                if not chunk:
+                    break
+                answers, elapsed = self._execute_chunk(target, chunk, forced_route)
+                breakdown.query_execution_seconds += elapsed
+                breakdown.chunks_executed += 1
+                self._consume_chunk(chunk, answers, breakdown, within_chunk)
+        breakdown.converged = self.model.is_frozen
+        breakdown.final_prototype_count = self.model.prototype_count
+        return breakdown
+
+    def _train_prefetched(
+        self,
+        target: ExactEngine,
+        forced_route: str | None,
+        pull,
+        breakdown: TrainingCostBreakdown,
+        within_chunk: str,
+    ) -> None:
+        """Double-buffered chunk loop: execute chunk k+1 while consuming k."""
+        if self.model.is_frozen:
+            # Mirror the non-prefetch loop: an already-converged model
+            # consumes no input and dispatches no engine work.
+            return
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            chunk = pull()
+            future: Future | None = (
+                pool.submit(self._execute_chunk, target, chunk, forced_route)
+                if chunk
+                else None
+            )
+            pending = chunk
+            while future is not None and not self.model.is_frozen:
+                answers, elapsed = future.result()
+                current = pending
+                breakdown.query_execution_seconds += elapsed
+                breakdown.chunks_executed += 1
+                # Dispatch the next chunk *before* consuming the current one
+                # so the engine works while the model updates.
+                pending = pull()
+                future = (
+                    pool.submit(self._execute_chunk, target, pending, forced_route)
+                    if pending
+                    else None
+                )
+                self._consume_chunk(current, answers, breakdown, within_chunk)
+            if future is not None:
+                # Convergence fired with a chunk in flight: drain it (the
+                # pool cannot abandon a running engine call) and account its
+                # engine time; its pairs are never consumed.
+                answers, elapsed = future.result()
+                breakdown.query_execution_seconds += elapsed
+                breakdown.chunks_executed += 1
+
+    def _consume_chunk(
+        self,
+        chunk: list[Query],
+        answers: list[QueryAnswer | None],
+        breakdown: TrainingCostBreakdown,
+        within_chunk: str,
+    ) -> None:
+        """Feed one labelled chunk to the model, in stream order.
+
+        Maximal runs of non-empty pairs go through
+        :meth:`~repro.core.model.LLMModel.partial_fit_batch`; empty slots
+        between runs are skipped (or raise) exactly where the sequential
+        loop would have handled them, and consumption stops at the pair
+        that converges the model.
+        """
+        started = time.perf_counter()
+        run_queries: list[Query] = []
+        run_answers: list[float] = []
+
+        def flush() -> bool:
+            """Absorb the pending run; returns False once the model froze."""
+            if not run_queries:
+                return not self.model.is_frozen
+            records = self.model.partial_fit_batch(
+                run_queries, run_answers, within_chunk=within_chunk
+            )
+            breakdown.pairs_processed += len(records)
+            breakdown.criterion_trajectory.extend(
+                record.criterion for record in records
+            )
+            del run_queries[:], run_answers[:]
+            return not self.model.is_frozen
+
+        for query, answer in zip(chunk, answers):
+            if answer is None:
+                # The skip (or raise) happens only if the model is still
+                # live once the preceding pairs have been absorbed — the
+                # sequential loop's ordering.
+                if not flush():
+                    break
+                if not self.skip_empty_subspaces:
+                    breakdown.model_update_seconds += time.perf_counter() - started
+                    raise _empty_subspace_error(query)
+                breakdown.pairs_skipped += 1
+                continue
+            run_queries.append(query)
+            run_answers.append(answer.mean)
+        flush()
+        breakdown.model_update_seconds += time.perf_counter() - started
+
+    # ------------------------------------------------------------------ #
+    # labelling
+    # ------------------------------------------------------------------ #
     def label_queries(
         self,
         queries: Iterable[Query],
@@ -150,65 +385,58 @@ class StreamingTrainer:
         through the engine's ``execute_q1_batch`` in chunks of
         ``batch_size``, amortising the per-query execution overhead — with
         a :class:`~repro.dbms.sharding.ShardedQueryEngine` each chunk fans
-        out across the shard workers; empty subspaces are dropped (or
-        raise, following ``skip_empty_subspaces``) exactly as before.
+        out across the shard workers.  Empty subspaces are dropped, or —
+        with ``skip_empty_subspaces=False`` — raise when the empty slot is
+        *reached in yield order*, i.e. after the chunk's preceding pairs
+        have been yielded (the unbatched protocol's ordering, shared with
+        :meth:`train`'s consumption).
 
-        ``engine`` selects what executes the chunks: ``None`` (default) or
-        ``"default"`` uses the trainer's engine as configured; ``"auto"``
-        uses the trainer's engine with adaptive routing enabled — on a
-        :class:`~repro.dbms.sharding.ShardedQueryEngine` each chunk is
-        routed per shard between the scan kernel and the per-shard grid
+        ``engine`` selects what executes the chunks, with the same
+        semantics as :meth:`train`: ``None`` (default) or ``"default"``
+        uses the trainer's engine as configured; ``"auto"`` uses the
+        trainer's engine with adaptive routing scoped onto each batch call
+        — on a :class:`~repro.dbms.sharding.ShardedQueryEngine` each chunk
+        is routed per shard between the scan kernel and the per-shard grid
         index, and between inline and pooled execution, from a selectivity
-        estimate (the engine's own ``route`` policy is restored after each
-        chunk, before anything is yielded); a single-node exact engine already picks
-        its path per construction, so ``"auto"`` is a no-op there.  An
-        explicit engine instance labels through that engine instead.
+        estimate, while the engine's own ``route`` policy is never
+        mutated; a single-node exact engine already picks its path per
+        construction, so ``"auto"`` is a no-op there.  An explicit engine
+        instance labels through that engine instead.
 
-        Note the read-ahead this implies: the generator pulls up to
-        ``batch_size`` queries from the source iterable and executes them
-        *before* the first pair of the chunk is yielded.  A consumer that
-        stops early (e.g. ``itertools.islice``) still pays for the whole
-        in-flight chunk, and a shared source iterator is advanced by whole
-        chunks.  Pass ``batch_size=1`` to recover strictly lazy,
-        one-query-per-yield behaviour.
+        Read-ahead
+        ----------
+        The generator pulls up to ``batch_size`` queries from the source
+        iterable and executes them *before* the first pair of the chunk is
+        yielded — the same chunked read-ahead contract as :meth:`train`.
+        A consumer that stops early (e.g. ``itertools.islice``) still pays
+        for the whole in-flight chunk, and a shared source iterator is
+        advanced by whole chunks.  Pass ``batch_size=1`` to recover
+        strictly lazy, one-query-per-yield behaviour.
         """
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-        target, forced_route = self._resolve_labelling_engine(engine)
+        target, forced_route = self._resolve_engine(engine)
         if forced_route is not None and not isinstance(target, ShardedQueryEngine):
             forced_route = None
-        on_empty = "null" if self.skip_empty_subspaces else "raise"
         batch: list[Query] = []
         for query in queries:
             batch.append(query)
             if len(batch) >= batch_size:
-                yield from self._label_batch(target, batch, on_empty, forced_route)
+                yield from self._label_batch(target, batch, forced_route)
                 batch = []
         if batch:
-            yield from self._label_batch(target, batch, on_empty, forced_route)
+            yield from self._label_batch(target, batch, forced_route)
 
     def _label_batch(
         self,
         engine: ExactEngine,
         batch: list[Query],
-        on_empty: str,
         forced_route: str | None = None,
     ) -> Iterator[QueryResultPair]:
-        # The route override is scoped to the execute call itself (set and
-        # restored before anything is yielded), so an abandoned generator
-        # or interleaved labelling runs can never leak a policy change onto
-        # the shared engine.
-        if forced_route is not None:
-            assert isinstance(engine, ShardedQueryEngine)
-            previous_route = engine.route
-            engine.route = forced_route
-            try:
-                answers = engine.execute_q1_batch(batch, on_empty=on_empty)
-            finally:
-                engine.route = previous_route
-        else:
-            answers = engine.execute_q1_batch(batch, on_empty=on_empty)
+        answers, _ = self._execute_chunk(engine, batch, forced_route)
         for query, answer in zip(batch, answers):
             if answer is None:
+                if not self.skip_empty_subspaces:
+                    raise _empty_subspace_error(query)
                 continue
             yield QueryResultPair(query=query, answer=answer.mean)

@@ -427,19 +427,28 @@ class ShardedQueryEngine:
             self._shard_grid_cells = cells
         return self._shard_extents, self._shard_grid_cells
 
-    def _plan_batch(self, radii: np.ndarray) -> tuple[list[str], bool]:
+    def _plan_batch(
+        self, radii: np.ndarray, route_override: str | None = None
+    ) -> tuple[list[str], bool]:
         """Pick each shard's kernel and whether to dispatch to the pool.
 
         Returns ``(routes, pooled)`` where ``routes[i]`` is ``"scan"`` or
-        ``"indexed"`` for shard ``i``.  Forced routes (``self.route`` not
-        ``"auto"``) always use the configured pool so forced measurements
-        isolate the kernel choice; the adaptive route additionally drops to
-        inline execution when the estimated touched work is too small to
-        amortise pool dispatch.
+        ``"indexed"`` for shard ``i``.  ``route_override`` scopes a policy
+        to this one batch without touching the engine's configured
+        :attr:`route` (the call-scoped form the training and labelling
+        loops use).  Forced routes always use the configured pool so forced
+        measurements isolate the kernel choice; the adaptive route
+        additionally drops to inline execution when the estimated touched
+        work is too small to amortise pool dispatch.
         """
+        route = route_override if route_override is not None else self._route
+        if route not in _ROUTES:
+            raise ConfigurationError(
+                f"route must be one of {_ROUTES}, got {route!r}"
+            )
         m = int(radii.shape[0])
-        if self._route != "auto":
-            routes = [self._route] * self.num_shards
+        if route != "auto":
+            routes = [route] * self.num_shards
             return routes, self._backend != "serial"
         extents, grid_cells = self._shard_selectivity_model()
         routes = []
@@ -472,7 +481,12 @@ class ShardedQueryEngine:
     # fan-out / merge
     # ------------------------------------------------------------------ #
     def _shard_statistics(
-        self, centers: np.ndarray, radii: np.ndarray, p: float, kind: str
+        self,
+        centers: np.ndarray,
+        radii: np.ndarray,
+        p: float,
+        kind: str,
+        route_override: str | None = None,
     ) -> tuple[np.ndarray, np.ndarray, int]:
         """Fan one (single-norm) batch out across shards and merge exactly.
 
@@ -481,7 +495,7 @@ class ShardedQueryEngine:
         rows for indexed shards).
         """
         self._require_open()
-        routes, pooled = self._plan_batch(radii)
+        routes, pooled = self._plan_batch(radii, route_override)
         # The pool (and, for processes, the per-worker shard shipping) is
         # only instantiated once a batch actually dispatches to it.
         pool = self._ensure_pool() if pooled else None
@@ -522,9 +536,21 @@ class ShardedQueryEngine:
         return _validate_batch_queries(queries, on_empty, self.dimension)
 
     def execute_q1_batch(
-        self, queries: Sequence[Query], *, on_empty: str = "raise"
+        self,
+        queries: Sequence[Query],
+        *,
+        on_empty: str = "raise",
+        route: str | None = None,
     ) -> list[QueryAnswer | None]:
-        """Execute a Q1 batch across all shards and merge ``(count, sum)``."""
+        """Execute a Q1 batch across all shards and merge ``(count, sum)``.
+
+        ``route`` scopes a routing policy (``"scan"``, ``"indexed"`` or
+        ``"auto"``) to this batch only, leaving the engine's configured
+        policy untouched — the call-scoped form
+        :class:`~repro.core.training.StreamingTrainer` uses so concurrent
+        labelling and training runs can never leak a policy change onto a
+        shared engine.  ``None`` (default) uses the engine's policy.
+        """
         batch = self._validate_batch(queries, on_empty)
         if not batch:
             return []
@@ -536,7 +562,7 @@ class ShardedQueryEngine:
         selected = 0
         for order, group in _group_by_norm_order(batch):
             counts, sums, scanned_group = self._shard_statistics(
-                centers[group], radii[group], order, "q1"
+                centers[group], radii[group], order, "q1", route
             )
             selected += int(counts.sum())
             scanned += scanned_group
@@ -547,7 +573,11 @@ class ShardedQueryEngine:
         return answers
 
     def execute_q2_batch(
-        self, queries: Sequence[Query], *, on_empty: str = "raise"
+        self,
+        queries: Sequence[Query],
+        *,
+        on_empty: str = "raise",
+        route: str | None = None,
     ) -> list[QueryAnswer | None]:
         """Execute a Q2 batch across all shards via blocked OLS.
 
@@ -556,7 +586,8 @@ class ShardedQueryEngine:
         (fewer selected rows than ``d + 1``, or a near-singular merged
         Gram) are re-answered by the dense per-query OLS over the full row
         set, preserving :class:`~repro.baselines.ols.OLSRegressor`
-        minimum-norm semantics exactly.
+        minimum-norm semantics exactly.  ``route`` scopes a routing policy
+        to this batch only (see :meth:`execute_q1_batch`).
         """
         batch = self._validate_batch(queries, on_empty)
         if not batch:
@@ -571,7 +602,7 @@ class ShardedQueryEngine:
         for order, group in _group_by_norm_order(batch):
             group_centers = centers[group]
             counts, moments, scanned_group = self._shard_statistics(
-                group_centers, radii[group], order, "q2"
+                group_centers, radii[group], order, "q2", route
             )
             selected += int(counts.sum())
             scanned += scanned_group

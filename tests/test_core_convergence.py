@@ -118,3 +118,119 @@ class TestHistory:
         assert tracker.steps == 0
         assert tracker.history == []
         assert tracker.last_criterion == float("inf")
+
+
+def _random_llm(rng: np.random.Generator, width: int = 3) -> LocalLinearMap:
+    return LocalLinearMap(
+        prototype=rng.uniform(-1.0, 1.0, size=width),
+        mean_output=float(rng.normal()),
+        slope=rng.normal(size=width),
+    )
+
+
+class TestIncrementalObservation:
+    """observe_step must equal the full recompute under every sequence."""
+
+    def test_grow_update_sequences_match_full_recompute(self):
+        # Two trackers observe the same randomized grow/update stream: one
+        # incrementally (only the changed index), one by full recompute.
+        # They must agree step for step — including across the capacity
+        # doubling of the dense store (8 -> 16 prototypes and beyond).
+        rng = np.random.default_rng(7)
+        incremental = ConvergenceTracker(threshold=0.01, min_steps=0, window=4)
+        full = ConvergenceTracker(threshold=0.01, min_steps=0, window=4)
+        params_a = LocalModelParameters()
+        params_b = LocalModelParameters()
+        for step in range(120):
+            grow = len(params_a) == 0 or rng.uniform() < 0.15
+            if grow:
+                llm = _random_llm(rng)
+                clone = LocalLinearMap.from_dict(llm.to_dict())
+                params_a.add(llm)
+                params_b.add(clone)
+                changed = len(params_a) - 1
+            else:
+                changed = int(rng.integers(len(params_a)))
+                proto_delta = rng.normal(size=3) * 0.05
+                slope_delta = rng.normal(size=3) * 0.05
+                mean_delta = float(rng.normal()) * 0.05
+                for params in (params_a, params_b):
+                    params[changed].shift_prototype(proto_delta)
+                    params[changed].shift_slope(slope_delta)
+                    params[changed].shift_mean_output(mean_delta)
+            record_a = incremental.observe_step(params_a, changed)
+            record_b = full.observe(params_b)
+            assert record_a.step == record_b.step
+            assert record_a.prototype_count == record_b.prototype_count
+            assert record_a.prototype_change == pytest.approx(
+                record_b.prototype_change, abs=1e-12
+            ), step
+            assert record_a.coefficient_change == pytest.approx(
+                record_b.coefficient_change, abs=1e-12
+            ), step
+            assert record_a.winner_index == changed
+            assert record_a.grew == grow
+            assert incremental.smoothed_criterion == pytest.approx(
+                full.smoothed_criterion, abs=1e-12
+            )
+            assert incremental.has_converged() == full.has_converged()
+
+    def test_resize_boundary_is_invisible(self):
+        # Values are copied bit-for-bit when the store doubles, so the step
+        # that crosses the boundary reports exactly the changed LLM's delta.
+        rng = np.random.default_rng(3)
+        tracker = ConvergenceTracker(threshold=0.01, min_steps=0, window=1)
+        params = LocalModelParameters()
+        for _ in range(8):  # exactly the initial capacity
+            params.add(_random_llm(rng))
+            tracker.observe_step(params, len(params) - 1)
+        ninth = _random_llm(rng)
+        expected_proto = float(np.linalg.norm(ninth.prototype))
+        expected_coeff = float(
+            np.linalg.norm(ninth.slope) + abs(ninth.mean_output)
+        )
+        params.add(ninth)  # triggers the 8 -> 16 doubling
+        record = tracker.observe_step(params, 8)
+        assert record.prototype_change == pytest.approx(expected_proto, abs=0.0)
+        assert record.coefficient_change == pytest.approx(expected_coeff, abs=0.0)
+        # An unchanged-state full recompute right after the resize sees zero.
+        assert tracker.observe(params).criterion == pytest.approx(0.0, abs=0.0)
+
+    def test_reset_then_incremental_matches_full(self):
+        rng = np.random.default_rng(5)
+        params = LocalModelParameters()
+        for _ in range(5):
+            params.add(_random_llm(rng))
+        tracker = ConvergenceTracker(threshold=0.01, min_steps=0, window=1)
+        for index in range(5):
+            tracker.observe_step(params, index)
+        tracker.reset()
+        assert tracker.steps == 0
+        # After a reset the snapshot is empty: the incremental call is not
+        # coherent with a 5-LLM set and must fall back to the full
+        # recompute, counting every prototype as new.
+        record = tracker.observe_step(params, 2)
+        expected = sum(
+            float(np.linalg.norm(llm.prototype)) for llm in params
+        )
+        assert record.prototype_change == pytest.approx(expected)
+        assert record.winner_index == -1  # full-recompute record
+
+    def test_incoherent_snapshot_falls_back_to_full_observe(self):
+        rng = np.random.default_rng(9)
+        params = LocalModelParameters()
+        params.add(_random_llm(rng))
+        params.add(_random_llm(rng))
+        params.add(_random_llm(rng))
+        tracker = ConvergenceTracker(threshold=0.01, min_steps=0, window=1)
+        # A fresh tracker observing index 0 of a 3-LLM set: incremental
+        # bookkeeping would miss the other two prototypes entirely.
+        record = tracker.observe_step(params, 0)
+        assert record.prototype_count == 3
+        expected = sum(float(np.linalg.norm(llm.prototype)) for llm in params)
+        assert record.prototype_change == pytest.approx(expected)
+        # Once coherent, the next observe_step takes the O(1) path.
+        params[1].shift_prototype(np.array([0.3, 0.0, 0.4]))
+        record = tracker.observe_step(params, 1)
+        assert record.prototype_change == pytest.approx(0.5)
+        assert record.winner_index == 1

@@ -295,3 +295,87 @@ def test_engine_paths_agree(dimension: int, layout: str, seed: int, kind: str):
             answers = _batch_answers(engine, queries, kind)
         _assert_family_equal(f"sharded-{route}", answers, batch_reference)
         _assert_reference_equal(f"sharded-{route}", answers, reference)
+
+
+# --------------------------------------------------------------------------- #
+# training-loop case family: the pipelined trainer across the engine matrix
+# --------------------------------------------------------------------------- #
+TRAINING_DIMENSIONS = (1, 2, 3)
+TRAINING_LAYOUTS = ("uniform", "clustered", "duplicate")
+TRAINING_SEEDS = (0, 1)
+
+TRAINING_CONFIGURATIONS = [
+    (dimension, layout, seed)
+    for dimension in TRAINING_DIMENSIONS
+    for layout in TRAINING_LAYOUTS
+    for seed in TRAINING_SEEDS
+]
+
+
+def _train_model(engine, queries, *, batch_size: int, engine_selector=None):
+    from repro.config import ModelConfig, TrainingConfig
+    from repro.core.model import LLMModel
+    from repro.core.training import StreamingTrainer
+
+    model = LLMModel(
+        dimension=queries[0].dimension,
+        config=ModelConfig(quantization_coefficient=0.15),
+        training=TrainingConfig(convergence_threshold=1e-9),
+    )
+    breakdown = StreamingTrainer(model, engine).train(
+        queries, batch_size=batch_size, engine=engine_selector
+    )
+    return model, breakdown
+
+
+@pytest.mark.parametrize("dimension,layout,seed", TRAINING_CONFIGURATIONS)
+def test_training_loop_paths_agree(dimension: int, layout: str, seed: int):
+    """Chunked training is bitwise-stable per engine and 1e-12 across engines.
+
+    Per engine, the chunked loop must equal the sequential ``batch_size=1``
+    loop bit-for-bit (batched Q1 statistics are batch-composition
+    independent).  Across engines the labelled answers differ only by
+    summation order, so the trained models must agree within the
+    differential family envelope.
+    """
+    dataset = _make_dataset(dimension, layout, seed)
+    queries = _make_workload(dataset, seed, count=40)
+
+    indexed_engine = ExactQueryEngine(dataset, use_index=True)
+    sequential, seq_breakdown = _train_model(
+        indexed_engine, queries, batch_size=1
+    )
+    chunked, chunk_breakdown = _train_model(indexed_engine, queries, batch_size=8)
+
+    assert chunk_breakdown.pairs_processed == seq_breakdown.pairs_processed
+    assert chunk_breakdown.pairs_skipped == seq_breakdown.pairs_skipped
+    assert (
+        chunk_breakdown.criterion_trajectory == seq_breakdown.criterion_trajectory
+    )
+    assert np.array_equal(
+        chunked.prototype_matrix(), sequential.prototype_matrix()
+    )
+    seq_trace = [
+        (record.winner_index, record.grew)
+        for record in sequential.convergence_tracker.history
+    ]
+    chunk_trace = [
+        (record.winner_index, record.grew)
+        for record in chunked.convergence_tracker.history
+    ]
+    assert seq_trace == chunk_trace
+
+    with ShardedQueryEngine(
+        dataset, num_shards=3, backend="serial", route="auto"
+    ) as sharded_engine:
+        sharded, sharded_breakdown = _train_model(
+            sharded_engine, queries, batch_size=8, engine_selector="auto"
+        )
+    assert sharded_breakdown.pairs_skipped == seq_breakdown.pairs_skipped
+    assert sharded.prototype_count == sequential.prototype_count
+    np.testing.assert_allclose(
+        sharded.prototype_matrix(),
+        sequential.prototype_matrix(),
+        rtol=1e-9,
+        atol=FAMILY_ATOL,
+    )

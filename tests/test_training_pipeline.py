@@ -1,0 +1,372 @@
+"""Equivalence and behaviour tests of the pipelined training loop.
+
+The chunked, prefetched :meth:`~repro.core.training.StreamingTrainer.train`
+must be *bit-for-bit* identical to the sequential per-query loop in its
+default ``within_chunk="strict"`` mode: same winner sequence, same
+prototype matrix, same criterion trajectory, same
+``TrainingCostBreakdown.pairs_*`` counts.  The sequential reference labels
+through ``execute_q1_batch([q])`` per query (batched Q1 statistics are
+batch-composition independent, so this is the same numerics at every chunk
+size); the suite sweeps seeds x data layouts x chunk sizes x prefetch, the
+engine selectors, the documented stale-winners deviation, and the
+skipped-query engine-time attribution bugfix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig, TrainingConfig
+from repro.core.model import LLMModel
+from repro.core.sgd import FusedTrainingKernel
+from repro.core.training import StreamingTrainer
+from repro.data.synthetic import SyntheticDataset
+from repro.dbms.executor import ExactQueryEngine
+from repro.dbms.sharding import ShardedQueryEngine
+from repro.exceptions import ConfigurationError, EmptySubspaceError
+from repro.queries.query import Query
+from repro.queries.workload import (
+    QueryWorkloadGenerator,
+    RadiusDistribution,
+    WorkloadSpec,
+)
+
+SEEDS = (0, 1, 2)
+LAYOUTS = ("uniform", "clustered", "wave")
+
+
+def _make_dataset(layout: str, seed: int, size: int = 3_000) -> SyntheticDataset:
+    rng = np.random.default_rng(seed * 7919 + 13)
+    if layout == "uniform":
+        inputs = rng.uniform(0.0, 1.0, size=(size, 2))
+        outputs = inputs @ np.array([1.5, -0.5]) + 0.05 * rng.normal(size=size)
+    elif layout == "clustered":
+        anchors = rng.uniform(0.2, 0.8, size=(3, 2))
+        inputs = anchors[rng.integers(0, 3, size=size)] + 0.05 * rng.normal(
+            size=(size, 2)
+        )
+        outputs = np.cos(3.0 * inputs[:, 0]) + inputs[:, 1] ** 2
+    else:
+        inputs = rng.uniform(0.0, 1.0, size=(size, 2))
+        outputs = np.sin(2 * np.pi * inputs[:, 0]) + inputs[:, 1]
+    return SyntheticDataset(
+        inputs=inputs, outputs=outputs, name=f"tp_{layout}_{seed}", domain=(0.0, 1.0)
+    )
+
+
+def _make_queries(seed: int, count: int = 220) -> list[Query]:
+    spec = WorkloadSpec(dimension=2, radius=RadiusDistribution(mean=0.12, std=0.03))
+    queries = QueryWorkloadGenerator(spec, seed=seed).generate(count)
+    # Sprinkle empty subspaces so skip accounting is part of every case.
+    for position in (5, count // 2, count - 3):
+        if 0 <= position < count:
+            queries[position] = Query(
+                center=np.array([6.0 + position, 6.0]), radius=0.01
+            )
+    return queries
+
+
+def _fresh_model(coefficient: float = 0.1, gamma: float = 1e-9) -> LLMModel:
+    return LLMModel(
+        dimension=2,
+        config=ModelConfig(quantization_coefficient=coefficient),
+        training=TrainingConfig(convergence_threshold=gamma),
+    )
+
+
+def _state(model: LLMModel) -> tuple:
+    """Full trainable state: prototypes, slopes, scalars, winner trace."""
+    prototypes, slopes, scalars = model._quantizer.parameters.training_views()
+    trace = [
+        (record.winner_index, record.grew, record.criterion)
+        for record in model.convergence_tracker.history
+    ]
+    return (
+        prototypes.copy(),
+        slopes.copy(),
+        scalars.copy(),
+        trace,
+    )
+
+
+def _assert_same_state(a: tuple, b: tuple, context: str) -> None:
+    assert np.array_equal(a[0], b[0]), f"{context}: prototypes diverge"
+    assert np.array_equal(a[1], b[1]), f"{context}: slopes diverge"
+    assert np.array_equal(a[2], b[2]), f"{context}: scalars diverge"
+    assert a[3] == b[3], f"{context}: winner/criterion trace diverges"
+
+
+class TestChunkedEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    def test_chunked_and_prefetched_match_sequential_bit_for_bit(
+        self, layout: str, seed: int
+    ):
+        engine = ExactQueryEngine(_make_dataset(layout, seed))
+        queries = _make_queries(seed)
+
+        reference_model = _fresh_model()
+        reference = StreamingTrainer(reference_model, engine).train(
+            queries, batch_size=1
+        )
+        reference_state = _state(reference_model)
+
+        for kwargs in (
+            dict(batch_size=16),
+            dict(batch_size=64, prefetch=True),
+            dict(batch_size=1_000),
+        ):
+            model = _fresh_model()
+            breakdown = StreamingTrainer(model, engine).train(queries, **kwargs)
+            context = f"{layout}/seed{seed}/{kwargs}"
+            _assert_same_state(_state(model), reference_state, context)
+            assert breakdown.pairs_processed == reference.pairs_processed, context
+            assert breakdown.pairs_skipped == reference.pairs_skipped, context
+            assert (
+                breakdown.criterion_trajectory == reference.criterion_trajectory
+            ), context
+
+    def test_convergence_mid_chunk_stops_without_consuming_rest(self):
+        engine = ExactQueryEngine(_make_dataset("wave", 0))
+        queries = _make_queries(3, count=300)
+        # A coarse quantizer with a permissive threshold converges quickly.
+        config = ModelConfig(quantization_coefficient=0.9)
+        training = TrainingConfig(
+            convergence_threshold=0.5, min_steps=5, convergence_window=5
+        )
+        sequential = LLMModel(dimension=2, config=config, training=training)
+        ref = StreamingTrainer(sequential, engine).train(queries, batch_size=1)
+        assert ref.converged
+
+        chunked = LLMModel(dimension=2, config=config, training=training)
+        breakdown = StreamingTrainer(chunked, engine).train(queries, batch_size=64)
+        assert breakdown.converged
+        assert breakdown.pairs_processed == ref.pairs_processed
+        assert breakdown.pairs_skipped == ref.pairs_skipped
+        assert breakdown.criterion_trajectory == ref.criterion_trajectory
+        assert np.array_equal(
+            chunked.prototype_matrix(), sequential.prototype_matrix()
+        )
+        # The chunked loop never pulled past the in-flight chunk.
+        assert breakdown.chunks_executed <= (ref.pairs_processed // 64) + 1
+
+    def test_prefetched_convergence_drains_inflight_chunk(self):
+        engine = ExactQueryEngine(_make_dataset("wave", 1))
+        queries = _make_queries(4, count=300)
+        config = ModelConfig(quantization_coefficient=0.9)
+        training = TrainingConfig(
+            convergence_threshold=0.5, min_steps=5, convergence_window=5
+        )
+        model = LLMModel(dimension=2, config=config, training=training)
+        breakdown = StreamingTrainer(model, engine).train(
+            queries, batch_size=32, prefetch=True
+        )
+        assert breakdown.converged
+        # The drained in-flight chunk is engine time the run actually spent.
+        assert breakdown.query_execution_seconds > 0.0
+
+
+class TestEngineSelectors:
+    def test_sharded_and_auto_routing_produce_identical_models(self):
+        dataset = _make_dataset("uniform", 2)
+        queries = _make_queries(5)
+        single = ExactQueryEngine(dataset)
+        reference_model = _fresh_model()
+        StreamingTrainer(reference_model, single).train(queries, batch_size=40)
+
+        with ShardedQueryEngine(
+            dataset, num_shards=3, backend="serial", route="scan"
+        ) as sharded:
+            previous_route = sharded.route
+            model = _fresh_model()
+            StreamingTrainer(model, sharded).train(
+                queries, batch_size=40, engine="auto"
+            )
+            # The route override is call-scoped: the policy never changes.
+            assert sharded.route == previous_route
+        # Sharded merge order differs from the single engine's summation, so
+        # the equality is the differential harness's 1e-12 envelope, not
+        # bitwise.
+        assert model.prototype_count == reference_model.prototype_count
+        np.testing.assert_allclose(
+            model.prototype_matrix(),
+            reference_model.prototype_matrix(),
+            rtol=1e-9,
+            atol=1e-12,
+        )
+
+    def test_frozen_model_consumes_no_input_with_or_without_prefetch(self):
+        engine = ExactQueryEngine(_make_dataset("uniform", 1))
+        queries = _make_queries(2, count=60)
+        for prefetch in (False, True):
+            model = _fresh_model()
+            model._frozen = True
+            stream = iter(queries)
+            breakdown = StreamingTrainer(model, engine).train(
+                stream, batch_size=16, prefetch=prefetch
+            )
+            assert breakdown.pairs_processed == 0
+            assert breakdown.chunks_executed == 0
+            # The shared iterator was not advanced by a single query.
+            assert next(stream) is queries[0]
+
+    def test_within_chunk_is_validated_before_any_engine_work(self):
+        engine = ExactQueryEngine(_make_dataset("uniform", 1))
+        trainer = StreamingTrainer(_fresh_model(), engine)
+        stream = iter(_make_queries(2, count=20))
+        with pytest.raises(ConfigurationError):
+            trainer.train(stream, within_chunk="stale")
+        assert next(stream, None) is not None  # nothing was pulled
+
+    def test_explicit_engine_instance_and_bad_selector(self):
+        dataset = _make_dataset("uniform", 0)
+        queries = _make_queries(6, count=40)
+        trainer = StreamingTrainer(_fresh_model(), ExactQueryEngine(dataset))
+        other = ExactQueryEngine(_make_dataset("wave", 0))
+        breakdown = trainer.train(queries, engine=other)
+        assert breakdown.pairs_processed > 0
+        with pytest.raises(ValueError):
+            trainer.train(queries, engine="warp-speed")
+        with pytest.raises(ValueError):
+            trainer.train(queries, batch_size=0)
+
+
+class TestCostAccounting:
+    def test_skipped_queries_engine_time_is_attributed(self):
+        # Seed bug: queries raising EmptySubspaceError contributed engine
+        # time that was dropped before the `continue`, undercounting
+        # query_execution_seconds by exactly the skipped queries' cost.
+        engine = ExactQueryEngine(_make_dataset("uniform", 1))
+        outside = [
+            Query(center=np.array([9.0 + i, 9.0]), radius=0.01) for i in range(5)
+        ]
+        breakdown = StreamingTrainer(_fresh_model(), engine).train(outside)
+        assert breakdown.pairs_skipped == 5
+        assert breakdown.pairs_processed == 0
+        assert breakdown.query_execution_seconds > 0.0
+        assert breakdown.chunks_executed == 1
+
+    def test_raise_mode_surfaces_empty_subspace_after_preceding_pairs(self):
+        engine = ExactQueryEngine(_make_dataset("uniform", 2))
+        queries = _make_queries(7, count=40)
+        model = _fresh_model()
+        trainer = StreamingTrainer(model, engine, skip_empty_subspaces=False)
+        with pytest.raises(EmptySubspaceError):
+            trainer.train(queries, batch_size=16)
+        # The pairs before the first empty query were consumed (the
+        # sequential loop's model state at the raise point).
+        assert model.steps == 5
+
+
+class TestStaleWinnersMode:
+    def test_stale_mode_trains_a_usable_model_and_is_documentedly_different(self):
+        engine = ExactQueryEngine(_make_dataset("wave", 3))
+        queries = _make_queries(8)
+        strict = _fresh_model()
+        StreamingTrainer(strict, engine).train(queries, batch_size=64)
+        stale = _fresh_model()
+        breakdown = StreamingTrainer(stale, engine).train(
+            queries, batch_size=64, within_chunk="stale-winners"
+        )
+        assert breakdown.pairs_processed > 0
+        assert stale.is_fitted
+        # Same quantization regime even though sequencing is relaxed.
+        assert (
+            abs(stale.prototype_count - strict.prototype_count)
+            <= max(3, strict.prototype_count // 2)
+        )
+        probe = Query(center=np.array([0.5, 0.5]), radius=0.15)
+        assert np.isfinite(stale.predict_mean(probe))
+
+    def test_stale_mode_with_batch_size_one_matches_strict(self):
+        # Chunks of one pair have no staleness: both modes reduce to the
+        # same per-pair sequence.
+        engine = ExactQueryEngine(_make_dataset("uniform", 3))
+        queries = _make_queries(9, count=60)
+        strict = _fresh_model()
+        StreamingTrainer(strict, engine).train(queries, batch_size=1)
+        stale = _fresh_model()
+        StreamingTrainer(stale, engine).train(
+            queries, batch_size=1, within_chunk="stale-winners"
+        )
+        _assert_same_state(_state(stale), _state(strict), "bs1 stale==strict")
+
+    def test_unknown_mode_rejected(self):
+        engine = ExactQueryEngine(_make_dataset("uniform", 0))
+        model = _fresh_model()
+        with pytest.raises(ConfigurationError):
+            model.partial_fit_batch(
+                _make_queries(0, count=4), [0.0] * 4, within_chunk="psychic"
+            )
+
+
+class TestPartialFitBatch:
+    def test_matches_partial_fit_loop_bitwise(self):
+        rng = np.random.default_rng(11)
+        pairs = []
+        for _ in range(200):
+            center = rng.uniform(0, 1, size=2)
+            pairs.append(
+                (
+                    Query(center=center, radius=float(rng.uniform(0.05, 0.2))),
+                    float(center.sum()),
+                )
+            )
+        sequential = _fresh_model()
+        for query, answer in pairs:
+            sequential.partial_fit(query, answer)
+        batched = _fresh_model()
+        records = batched.partial_fit_batch(
+            [query for query, _ in pairs], [answer for _, answer in pairs]
+        )
+        assert len(records) == len(pairs)
+        _assert_same_state(_state(batched), _state(sequential), "partial_fit_batch")
+        assert batched.steps == sequential.steps
+
+    def test_validates_lengths_and_dimensions(self):
+        model = _fresh_model()
+        queries = _make_queries(1, count=4)
+        with pytest.raises(ValueError):
+            model.partial_fit_batch(queries, [0.0] * 3)
+        bad = [Query(center=np.array([0.1, 0.2, 0.3]), radius=0.1)]
+        with pytest.raises(Exception):
+            model.partial_fit_batch(bad, [0.0])
+
+    def test_frozen_model_consumes_nothing(self):
+        model = _fresh_model()
+        model._frozen = True
+        queries = _make_queries(2, count=4)
+        assert model.partial_fit_batch(queries, [0.0] * 4) == []
+
+
+class TestWinnerPruningIndex:
+    def test_pruned_winner_search_is_bitwise_identical(self):
+        # Force the pruning index on from the first prototype: the pruned
+        # kernel must replicate the dense scan exactly, across growth,
+        # prototype motion (index slack) and rebuilds.
+        rng = np.random.default_rng(5)
+        pairs = []
+        for _ in range(400):
+            center = rng.uniform(0, 1, size=2)
+            pairs.append(
+                (
+                    Query(center=center, radius=float(rng.uniform(0.05, 0.2))),
+                    float(np.sin(center[0]) + center[1]),
+                )
+            )
+        dense = _fresh_model(coefficient=0.05)
+        for query, answer in pairs:
+            dense.partial_fit(query, answer)
+
+        pruned = _fresh_model(coefficient=0.05)
+        pruned._kernel = FusedTrainingKernel(
+            pruned._quantizer,
+            pruned._schedule,
+            pruned._tracker,
+            prune_threshold=1,
+        )
+        for query, answer in pairs:
+            pruned.partial_fit(query, answer)
+        assert pruned._kernel._index is not None  # the index really ran
+        _assert_same_state(_state(pruned), _state(dense), "pruned winner search")
