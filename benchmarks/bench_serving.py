@@ -1,0 +1,371 @@
+"""Batched hybrid serving throughput vs the seed per-statement exact loop.
+
+The paper's system context (Figure 2) answers analytics queries *from the
+trained model* without touching the data.  This benchmark measures the new
+serving layer (`repro.dbms.serving.AnalyticsService`) end to end on the
+Figure-12 setup (R2, d=2, N=40k, 1,000 statements): SQL parsing included,
+statements grouped by table/kind and served through the batched fast
+paths, hybrid mode falling back to the exact engine wherever the model has
+no overlapping prototypes.
+
+Headline requirements asserted here:
+
+* batched hybrid serving is **>= 10x** the seed-era per-statement exact
+  loop (parse one statement, run one ``execute_q1`` / ``execute_q2`` /
+  ``cardinality`` against the engine),
+* hybrid answers equal the model-direct batch predictions (1e-12) wherever
+  the model covers the query, and equal the exact batch answers (1e-12) on
+  every fallback,
+* an out-of-coverage workload (model trained on half the cube only)
+  reports a strictly positive fallback rate, with fallback answers again
+  equal to exact.
+
+Results are written to ``BENCH_serving.json`` so CI runs accumulate a
+performance trajectory.  Run standalone with::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import ModelConfig, TrainingConfig
+from repro.core.model import LLMModel
+from repro.dbms.sqlfront import parse_statement
+from repro.eval.experiments import build_context
+from repro.eval.timing import measure_throughput
+
+#: Required speedup of batched hybrid serving over the seed exact loop.
+REQUIRED_SPEEDUP = 10.0
+
+#: Agreement budget of hybrid answers vs their model/exact references.
+DEVIATION_BUDGET = 1e-12
+
+TABLE = "R2"
+
+
+def _statement_text(kind: str, query) -> str:
+    center = ", ".join(repr(float(value)) for value in query.center)
+    return f"SELECT {kind} FROM {TABLE} WITHIN {float(query.radius)!r} OF ({center})"
+
+
+def _build_statements(queries, count: int) -> list[str]:
+    """A mixed Q1/Q2/COUNT statement list cycled over the workload queries.
+
+    ``repr`` round-trips floats exactly, so the parsed statements rebuild
+    bit-identical query objects — the agreement checks below compare real
+    equality, not parse noise.
+    """
+    statements = []
+    for index in range(count):
+        query = queries[index % len(queries)]
+        if index % 10 == 9:
+            kind = "REGRESSION(u)"
+        elif index % 20 == 6:
+            kind = "COUNT(*)"
+        else:
+            kind = "AVG(u)"
+        statements.append(_statement_text(kind, query))
+    return statements
+
+
+def _seed_statement_loop(engine, statements: list[str]) -> list:
+    """The seed-era serving path: parse + one exact engine call per statement."""
+    values = []
+    for sql in statements:
+        statement = parse_statement(sql)
+        query = statement.to_query()
+        if statement.kind == "q1":
+            values.append(engine.execute_q1(query).mean)
+        elif statement.kind == "count":
+            values.append(engine.cardinality(query))
+        else:
+            answer = engine.execute_q2(query)
+            values.append(np.asarray(answer.coefficients, dtype=float))
+    return values
+
+
+def _verify_hybrid(service, model, engine, statements: list[str]) -> dict:
+    """Check hybrid answers against model-direct and exact references."""
+    results = service.execute_script(statements, mode="hybrid")
+    order = model.config.norm_order
+    max_model_dev = 0.0
+    max_exact_dev = 0.0
+    fallbacks = 0
+
+    model_q1 = [(i, r) for i, r in enumerate(results) if r.kind == "q1" and r.source == "model"]
+    if model_q1:
+        queries = [r.statement.to_query(order) for _, r in model_q1]
+        reference = model.predict_mean_batch(queries)
+        served = np.array([r.value for _, r in model_q1])
+        max_model_dev = max(max_model_dev, float(np.max(np.abs(served - reference))))
+
+    model_q2 = [r for r in results if r.kind == "q2" and r.source == "model"]
+    if model_q2:
+        queries = [r.statement.to_query(order) for r in model_q2]
+        reference_lists = model.predict_q2_batch(queries)
+        for result, planes in zip(model_q2, reference_lists):
+            assert len(result.value) == len(planes)
+            for (intercept, slope), plane in zip(result.value, planes):
+                max_model_dev = max(
+                    max_model_dev,
+                    abs(intercept - plane.intercept),
+                    float(np.max(np.abs(np.asarray(slope) - plane.slope)))
+                    if np.size(slope)
+                    else 0.0,
+                )
+
+    fallback_q1 = [r for r in results if r.kind == "q1" and r.source == "fallback"]
+    fallbacks += len(fallback_q1)
+    non_empty = [r for r in fallback_q1 if not r.empty]
+    if non_empty:
+        queries = [r.statement.to_query(order) for r in non_empty]
+        answers = engine.execute_q1_batch(queries, on_empty="null")
+        for result, answer in zip(non_empty, answers):
+            max_exact_dev = max(max_exact_dev, abs(result.value - answer.mean))
+
+    fallback_q2 = [r for r in results if r.kind == "q2" and r.source == "fallback"]
+    fallbacks += len(fallback_q2)
+    non_empty = [r for r in fallback_q2 if not r.empty]
+    if non_empty:
+        queries = [r.statement.to_query(order) for r in non_empty]
+        answers = engine.execute_q2_batch(queries, on_empty="null")
+        for result, answer in zip(non_empty, answers):
+            intercept, slope = result.value[0]
+            coefficients = np.concatenate([[intercept], np.asarray(slope)])
+            max_exact_dev = max(
+                max_exact_dev,
+                float(np.max(np.abs(coefficients - answer.coefficients))),
+            )
+
+    counts = [r for r in results if r.kind == "count"]
+    for result in counts:
+        reference = engine.cardinality(result.statement.to_query(order))
+        if result.value != reference:
+            max_exact_dev = max(max_exact_dev, abs(result.value - reference))
+
+    total = len(results)
+    return {
+        "statements": total,
+        "model_answered": sum(r.source == "model" for r in results),
+        "fallbacks": fallbacks,
+        "counts": len(counts),
+        "fallback_rate": fallbacks / total if total else 0.0,
+        "max_model_deviation": max_model_dev,
+        "max_exact_deviation": max_exact_dev,
+    }
+
+
+def run_serving_benchmark(
+    statement_count: int = 1_000,
+    dataset_size: int = 40_000,
+    training_queries: int = 1_200,
+    *,
+    dimension: int = 2,
+    repetitions: int = 3,
+    seed: int = 7,
+) -> dict:
+    """Measure batched hybrid serving vs the seed loop and verify agreement."""
+    context = build_context(
+        TABLE,
+        dimension=dimension,
+        dataset_size=dataset_size,
+        training_queries=training_queries,
+        testing_queries=50,
+        seed=seed,
+    )
+    model, _ = context.train_model()
+    statements = _build_statements(context.training.queries, statement_count)
+
+    # --- seed path: parse + per-statement exact execution ------------------ #
+    seed_stats = measure_throughput(
+        lambda: _seed_statement_loop(context.engine, statements),
+        statement_count,
+        repetitions=repetitions,
+    )
+
+    # --- serving layer: batched hybrid script execution --------------------- #
+    service = context.serving_service(model, table=TABLE)
+    hybrid_stats = measure_throughput(
+        lambda: service.execute_script(statements, mode="hybrid"),
+        statement_count,
+        repetitions=repetitions,
+    )
+    speedup = hybrid_stats["items_per_second"] / seed_stats["items_per_second"]
+    service.reset_statistics()
+    agreement = _verify_hybrid(service, model, context.engine, statements)
+    serving_statistics = service.statistics
+
+    # --- exact serving (no model): the batched lower bound ------------------ #
+    exact_service = context.serving_service(table=TABLE)
+    exact_stats = measure_throughput(
+        lambda: exact_service.execute_script(statements, mode="exact"),
+        statement_count,
+        repetitions=repetitions,
+    )
+
+    # --- out-of-coverage workload: half-cube model, full-cube traffic ------- #
+    half_pairs = [
+        pair for pair in context.training.pairs if float(pair.query.center[0]) <= 0.5
+    ]
+    half_model = LLMModel(
+        dimension=dimension,
+        config=ModelConfig(quantization_coefficient=model.config.quantization_coefficient),
+        training=TrainingConfig(convergence_threshold=1e-4),
+    )
+    half_model.fit(half_pairs)
+    half_service = context.serving_service(half_model, table=TABLE)
+    half_agreement = _verify_hybrid(
+        half_service, half_model, context.engine, statements
+    )
+    half_statistics = half_service.statistics
+
+    return {
+        "setup": {
+            "dataset": TABLE,
+            "dimension": dimension,
+            "dataset_size": dataset_size,
+            "training_queries": training_queries,
+            "statement_count": statement_count,
+            "prototype_count": model.prototype_count,
+            "half_model_prototype_count": half_model.prototype_count,
+        },
+        "seed_loop": {
+            "qps": seed_stats["items_per_second"],
+            "mean_latency_ms": seed_stats["mean_latency_ms"],
+        },
+        "hybrid_serving": {
+            "qps": hybrid_stats["items_per_second"],
+            "mean_latency_ms": hybrid_stats["mean_latency_ms"],
+            "speedup": speedup,
+            "fallback_rate": serving_statistics.fallback_rate,
+            "model_answered": serving_statistics.model_answered,
+            "exact_answered": serving_statistics.exact_answered,
+            "fallback_count": serving_statistics.fallback_count,
+            "max_model_deviation": agreement["max_model_deviation"],
+            "max_exact_deviation": agreement["max_exact_deviation"],
+        },
+        "exact_serving": {
+            "qps": exact_stats["items_per_second"],
+            "speedup_vs_seed": exact_stats["items_per_second"]
+            / seed_stats["items_per_second"],
+        },
+        "out_of_coverage": {
+            "fallback_rate": half_statistics.fallback_rate,
+            "fallback_count": half_statistics.fallback_count,
+            "max_model_deviation": half_agreement["max_model_deviation"],
+            "max_exact_deviation": half_agreement["max_exact_deviation"],
+        },
+        "required_speedup": REQUIRED_SPEEDUP,
+        "deviation_budget": DEVIATION_BUDGET,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def _format(result: dict) -> str:
+    hybrid = result["hybrid_serving"]
+    exact = result["exact_serving"]
+    ooc = result["out_of_coverage"]
+    return "\n".join(
+        [
+            "Batched hybrid serving (Fig-12 setup)",
+            f"  statements:           {result['setup']['statement_count']}",
+            f"  prototypes:           {result['setup']['prototype_count']}",
+            f"  seed exact loop:      {result['seed_loop']['qps']:,.0f} stmt/s"
+            f" ({result['seed_loop']['mean_latency_ms']:.4f} ms/stmt)",
+            f"  hybrid serving:       {hybrid['qps']:,.0f} stmt/s"
+            f" ({hybrid['mean_latency_ms']:.4f} ms/stmt)",
+            f"  speedup:              {hybrid['speedup']:.1f}x (required >= "
+            f"{result['required_speedup']:.0f}x)",
+            f"  exact serving:        {exact['qps']:,.0f} stmt/s "
+            f"({exact['speedup_vs_seed']:.1f}x vs seed)",
+            f"  fallback rate:        {hybrid['fallback_rate']:.3f} "
+            f"({hybrid['fallback_count']} of "
+            f"{result['setup']['statement_count']})",
+            f"  model deviation:      {hybrid['max_model_deviation']:.2e}",
+            f"  exact deviation:      {hybrid['max_exact_deviation']:.2e}",
+            f"  out-of-coverage rate: {ooc['fallback_rate']:.3f} "
+            f"(deviations {ooc['max_model_deviation']:.2e} / "
+            f"{ooc['max_exact_deviation']:.2e})",
+        ]
+    )
+
+
+def _check(result: dict) -> list[str]:
+    """Return the list of failed headline requirements (empty when green)."""
+    failures: list[str] = []
+    hybrid = result["hybrid_serving"]
+    if hybrid["speedup"] < REQUIRED_SPEEDUP:
+        failures.append(
+            f"hybrid serving speedup {hybrid['speedup']:.1f}x is below the "
+            f"required {REQUIRED_SPEEDUP:.0f}x"
+        )
+    if hybrid["max_model_deviation"] > DEVIATION_BUDGET:
+        failures.append(
+            "hybrid answers deviate from the model-direct batch predictions"
+        )
+    if hybrid["max_exact_deviation"] > DEVIATION_BUDGET:
+        failures.append("hybrid fallback answers deviate from the exact engine")
+    ooc = result["out_of_coverage"]
+    if ooc["fallback_rate"] <= 0.0:
+        failures.append(
+            "the out-of-coverage workload reported no fallbacks (expected > 0)"
+        )
+    if ooc["max_exact_deviation"] > DEVIATION_BUDGET:
+        failures.append(
+            "out-of-coverage fallback answers deviate from the exact engine"
+        )
+    return failures
+
+
+def test_serving_benchmark(results_dir, record_table):
+    """Benchmark-suite entry point: asserts the headline requirements."""
+    result = run_serving_benchmark()
+    record_table("bench_serving", _format(result))
+    (results_dir / "BENCH_serving.json").write_text(
+        json.dumps(result, indent=2) + "\n", encoding="utf-8"
+    )
+    failures = _check(result)
+    assert not failures, "; ".join(failures)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small, fast configuration for CI smoke runs",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_serving.json"),
+        help="where to write the JSON results (default: ./BENCH_serving.json)",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        result = run_serving_benchmark(
+            statement_count=300,
+            dataset_size=40_000,
+            training_queries=800,
+            repetitions=2,
+        )
+    else:
+        result = run_serving_benchmark()
+    print(_format(result))
+    args.output.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {args.output}")
+    failures = _check(result)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -120,12 +120,15 @@ from .data import (
     make_rosenbrock_dataset,
 )
 from .dbms import (
+    AnalyticsService,
     AnalyticsSession,
     ExactQueryEngine,
     GridIndex,
     PrototypeIndex,
+    ServingStatistics,
     ShardedQueryEngine,
     SQLiteDataStore,
+    parse_script,
     parse_statement,
 )
 from .core import (
@@ -194,6 +197,9 @@ __all__ = [
     "ExactQueryEngine",
     "ShardedQueryEngine",
     "AnalyticsSession",
+    "AnalyticsService",
+    "ServingStatistics",
+    "parse_script",
     "parse_statement",
     # core
     "LLMModel",

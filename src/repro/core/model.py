@@ -390,6 +390,49 @@ class LLMModel:
             out[indices] = predictor.predict_mean_batch(matrix, norm_order=order)
         return out
 
+    def predict_mean_batch_with_coverage(
+        self,
+        queries: Sequence[Query] | np.ndarray,
+        norm_order: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched Q1 prediction plus the per-query coverage mask.
+
+        Returns ``(values, covered)`` where ``covered[i]`` is ``True`` when
+        the model holds at least one prototype overlapping query ``i``
+        (non-empty ``W(q)``).  Uncovered queries are answered by
+        extrapolation from the closest prototype — the low-confidence
+        signal the hybrid serving layer uses to fall back to the exact
+        engine.
+        """
+        predictor = self._predictor()
+        if isinstance(queries, np.ndarray):
+            order = norm_order if norm_order is not None else self.config.norm_order
+            return predictor.predict_mean_batch_with_coverage(queries, norm_order=order)
+        values = np.empty(len(queries), dtype=float)
+        covered = np.empty(len(queries), dtype=bool)
+        for order, indices, matrix in self._query_matrix_groups(queries):
+            group_values, group_covered = predictor.predict_mean_batch_with_coverage(
+                matrix, norm_order=order
+            )
+            values[indices] = group_values
+            covered[indices] = group_covered
+        return values, covered
+
+    def coverage_batch(
+        self,
+        queries: Sequence[Query] | np.ndarray,
+        norm_order: float | None = None,
+    ) -> np.ndarray:
+        """Return the boolean coverage mask of a query batch (``W(q)`` non-empty)."""
+        predictor = self._predictor()
+        if isinstance(queries, np.ndarray):
+            order = norm_order if norm_order is not None else self.config.norm_order
+            return predictor.batch_coverage(queries, norm_order=order)
+        covered = np.empty(len(queries), dtype=bool)
+        for order, indices, matrix in self._query_matrix_groups(queries):
+            covered[indices] = predictor.batch_coverage(matrix, norm_order=order)
+        return covered
+
     def regression_models(self, query: Query) -> list[RegressionPlane]:
         """Return the list ``S`` of local regression planes (Algorithm 3)."""
         return self._predictor().regression_models(query)
@@ -411,6 +454,32 @@ class LLMModel:
             ):
                 results[int(position)] = planes
         return results  # type: ignore[return-value]
+
+    def predict_q2_batch_with_coverage(
+        self,
+        queries: Sequence[Query] | np.ndarray,
+        norm_order: float | None = None,
+    ) -> tuple[list[list[RegressionPlane]], np.ndarray]:
+        """Batched Q2 prediction plus the per-query coverage mask.
+
+        See :meth:`predict_mean_batch_with_coverage` for the coverage
+        semantics; an uncovered query's plane list holds the single
+        extrapolated closest-prototype plane.
+        """
+        predictor = self._predictor()
+        if isinstance(queries, np.ndarray):
+            order = norm_order if norm_order is not None else self.config.norm_order
+            return predictor.predict_q2_batch_with_coverage(queries, norm_order=order)
+        results: list[list[RegressionPlane] | None] = [None] * len(queries)
+        covered = np.empty(len(queries), dtype=bool)
+        for order, indices, matrix in self._query_matrix_groups(queries):
+            group_planes, group_covered = predictor.predict_q2_batch_with_coverage(
+                matrix, norm_order=order
+            )
+            covered[indices] = group_covered
+            for position, planes in zip(indices, group_planes):
+                results[int(position)] = planes
+        return results, covered  # type: ignore[return-value]
 
     @staticmethod
     def _query_matrix_groups(

@@ -19,7 +19,18 @@ from .prototypes import LocalLinearMap
 __all__ = ["save_model", "load_model", "model_to_dict", "model_from_dict"]
 
 #: Format marker written to every persisted model file.
-FORMAT_VERSION = 1
+#:
+#: Version history:
+#:
+#: * **1** — configuration, training settings, state and the LLM parameter
+#:   list.
+#: * **2** — adds ``use_pruning_index`` so a saved model keeps its
+#:   pruning-index policy across a save/load round trip (v1 payloads stay
+#:   readable and default the policy to ``None``, i.e. auto).
+FORMAT_VERSION = 2
+
+#: Format versions :func:`model_from_dict` can read.
+READABLE_VERSIONS = frozenset({1, 2})
 
 
 def model_to_dict(model: LLMModel) -> dict:
@@ -29,6 +40,7 @@ def model_to_dict(model: LLMModel) -> dict:
     return {
         "format_version": FORMAT_VERSION,
         "dimension": model.dimension,
+        "use_pruning_index": model.use_pruning_index,
         "config": {
             "quantization_coefficient": model.config.quantization_coefficient,
             "norm_order": model.config.norm_order,
@@ -51,9 +63,10 @@ def model_to_dict(model: LLMModel) -> dict:
 def model_from_dict(payload: dict) -> LLMModel:
     """Rebuild a model from :func:`model_to_dict` output."""
     version = payload.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in READABLE_VERSIONS:
         raise ReproError(
-            f"unsupported model format version {version!r} (expected {FORMAT_VERSION})"
+            f"unsupported model format version {version!r} "
+            f"(readable: {sorted(READABLE_VERSIONS)})"
         )
     config_payload = payload.get("config", {})
     training_payload = payload.get("training", {})
@@ -68,7 +81,15 @@ def model_from_dict(payload: dict) -> LLMModel:
         learning_rate_schedule=training_payload.get("learning_rate_schedule", "hyperbolic"),
         learning_rate_scale=training_payload.get("learning_rate_scale", 1.0),
     )
-    model = LLMModel(dimension=int(payload["dimension"]), config=config, training=training)
+    # v1 payloads predate the pruning-index policy; ``None`` keeps the
+    # predictor's auto-enable behaviour for them.
+    pruning = payload.get("use_pruning_index")
+    model = LLMModel(
+        dimension=int(payload["dimension"]),
+        config=config,
+        training=training,
+        use_pruning_index=None if pruning is None else bool(pruning),
+    )
     for map_payload in payload.get("maps", []):
         llm = LocalLinearMap.from_dict(map_payload)
         model._quantizer.parameters.add(llm)  # noqa: SLF001 - controlled rebuild

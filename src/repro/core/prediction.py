@@ -489,10 +489,31 @@ class NeighborhoodPredictor:
         Python loop.  Results match :meth:`predict_mean` to floating-point
         rounding (the equivalence suite asserts 1e-12 agreement).
         """
+        return self.predict_mean_batch_with_coverage(query_matrix, norm_order)[0]
+
+    def predict_mean_batch_with_coverage(
+        self, query_matrix: np.ndarray, norm_order: float = 2.0
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched Q1 prediction plus the per-query coverage mask.
+
+        Returns ``(values, covered)`` where ``covered`` is the ``(m,)``
+        boolean vector marking queries whose overlap set ``W(q)`` is
+        non-empty.  Uncovered queries are *extrapolated* (answered by the
+        closest prototype alone), which is the confidence signal a hybrid
+        serving layer uses to fall back to exact execution.
+        """
         matrix = self._as_query_matrix(query_matrix)
-        weights, _, columns = self._batch_weight_matrix(matrix, norm_order)
+        weights, extrapolated, columns = self._batch_weight_matrix(matrix, norm_order)
         values = self._evaluate_all_maps(matrix, columns)
-        return np.sum(weights * values, axis=1)
+        return np.sum(weights * values, axis=1), ~extrapolated
+
+    def batch_coverage(
+        self, query_matrix: np.ndarray, norm_order: float = 2.0
+    ) -> np.ndarray:
+        """Return the ``(m,)`` boolean mask of queries with non-empty ``W(q)``."""
+        matrix = self._as_query_matrix(query_matrix)
+        _, extrapolated, _ = self._batch_weight_matrix(matrix, norm_order)
+        return ~extrapolated
 
     # ------------------------------------------------------------------ #
     # Q2: local regression planes (Algorithm 3)
@@ -514,8 +535,19 @@ class NeighborhoodPredictor:
         same dense matrix pass as :meth:`predict_mean_batch`; only the final
         materialisation of the per-query plane lists walks Python objects.
         """
+        return self.predict_q2_batch_with_coverage(query_matrix, norm_order)[0]
+
+    def predict_q2_batch_with_coverage(
+        self, query_matrix: np.ndarray, norm_order: float = 2.0
+    ) -> tuple[list[list[RegressionPlane]], np.ndarray]:
+        """Batched Q2 prediction plus the per-query coverage mask.
+
+        Returns ``(plane_lists, covered)``; an uncovered query's plane list
+        holds the single extrapolated closest-prototype plane, exactly as
+        :meth:`regression_models` would produce.
+        """
         matrix = self._as_query_matrix(query_matrix)
-        weights, _, columns = self._batch_weight_matrix(matrix, norm_order)
+        weights, extrapolated, columns = self._batch_weight_matrix(matrix, norm_order)
         results: list[list[RegressionPlane]] = []
         for row in weights:
             indices = np.nonzero(row)[0]
@@ -526,7 +558,7 @@ class NeighborhoodPredictor:
                     for local, index in zip(indices, mapped)
                 ]
             )
-        return results
+        return results, ~extrapolated
 
     # ------------------------------------------------------------------ #
     # A2: data-value prediction (Equation 14)

@@ -21,7 +21,14 @@ during the training phase.  This subpackage provides that substrate:
   segmented pipeline next to its scan kernel, with an adaptive router
   picking between them per shard from a selectivity estimate,
 * :class:`~repro.dbms.sqlfront.AnalyticsSession` — a small declarative SQL
-  front end implementing the Q1/Q2 syntax sketched in the paper's appendix.
+  front end implementing the Q1/Q2 syntax sketched in the paper's appendix
+  (with ``NORM p`` geometry clauses and multi-statement scripts),
+* :class:`~repro.dbms.serving.AnalyticsService` — the model-backed batched
+  serving layer behind the sessions: per-table engine/model registry,
+  batched multi-statement execution through the engines' and models' batch
+  paths, and a hybrid mode answering from the trained model with a
+  transparent exact fallback on empty ``W(q)`` (fallback rate reported via
+  :class:`~repro.dbms.serving.ServingStatistics`).
 """
 
 from .schema import ColumnSpec, TableSchema, schema_for_dataset
@@ -36,7 +43,8 @@ from .spatial_index import (
 )
 from .executor import ExactQueryEngine, ExecutionStatistics, SegmentedBatchPipeline
 from .sharding import ShardedQueryEngine, shard_bounds
-from .sqlfront import AnalyticsSession, ParsedStatement, parse_statement
+from .sqlfront import AnalyticsSession, ParsedStatement, parse_script, parse_statement
+from .serving import AnalyticsService, ServingStatistics, StatementResult
 
 __all__ = [
     "ColumnSpec",
@@ -56,6 +64,10 @@ __all__ = [
     "ShardedQueryEngine",
     "shard_bounds",
     "AnalyticsSession",
+    "AnalyticsService",
+    "ServingStatistics",
+    "StatementResult",
     "ParsedStatement",
+    "parse_script",
     "parse_statement",
 ]

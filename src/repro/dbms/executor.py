@@ -172,6 +172,31 @@ class ExecutionStatistics:
         )
         return [self.mean_seconds] * self.queries_executed
 
+    def merge(self, other: "ExecutionStatistics") -> None:
+        """Fold another statistics object into this one.
+
+        Counters add, latency extrema combine — the aggregation a serving
+        layer uses to mirror per-table engine statistics into one
+        service-wide view without touching the engines' own records.
+        """
+        self.queries_executed += other.queries_executed
+        self.rows_scanned += other.rows_scanned
+        self.rows_selected += other.rows_selected
+        self.total_seconds += other.total_seconds
+        self.min_query_seconds = min(self.min_query_seconds, other.min_query_seconds)
+        self.max_query_seconds = max(self.max_query_seconds, other.max_query_seconds)
+
+    def snapshot(self) -> "ExecutionStatistics":
+        """Return an independent copy of the current counters."""
+        return ExecutionStatistics(
+            queries_executed=self.queries_executed,
+            rows_scanned=self.rows_scanned,
+            rows_selected=self.rows_selected,
+            total_seconds=self.total_seconds,
+            min_query_seconds=self.min_query_seconds,
+            max_query_seconds=self.max_query_seconds,
+        )
+
     def reset(self) -> None:
         """Clear all counters."""
         self.queries_executed = 0
@@ -784,6 +809,11 @@ class ExactQueryEngine:
     * directly against a :class:`~repro.dbms.storage.SQLiteDataStore`
       table using a bounding-box pushdown (``from_store``).
     """
+
+    #: Whether the batch entry points accept a call-scoped ``route=``
+    #: argument (the single-engine pipeline has no scan/indexed router, so
+    #: callers like the serving layer must not forward one).
+    supports_route = False
 
     def __init__(
         self,

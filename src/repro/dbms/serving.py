@@ -1,0 +1,621 @@
+"""Model-backed batched serving layer: hybrid SQL sessions with exact fallback.
+
+The paper's whole point (Figure 2 system context) is that after training,
+analytics queries are answered *from the model* without touching the data.
+:class:`AnalyticsService` is that serving tier: it owns the per-table
+registry of exact engines and trained models, parses multi-statement
+scripts, groups statements by table and kind, and routes every group
+through the batched fast paths built in earlier PRs —
+``execute_q1_batch`` / ``execute_q2_batch`` on the exact side (single,
+sharded, or ``route="auto"`` engines) and ``predict_mean_batch`` /
+``predict_q2_batch`` on the model side.
+
+Three execution modes are offered:
+
+* ``"exact"`` — every statement is answered by the table's exact engine
+  (batched sufficient-statistics execution);
+* ``"model"`` — every Q1/Q2 statement is answered by the table's trained
+  model (COUNT is rejected: the model does not estimate cardinalities);
+* ``"hybrid"`` — statements are answered from the model, with a
+  transparent per-query fallback to the exact engine whenever the model
+  has no overlapping prototypes for the query (empty ``W(q)``, the
+  coverage signal of
+  :meth:`~repro.core.model.LLMModel.predict_mean_batch_with_coverage`).
+  COUNT statements always go to the exact engine.  The observed fallback
+  rate is reported through :class:`ServingStatistics`.
+
+Serving statistics mirror the engines'
+:class:`~repro.dbms.executor.ExecutionStatistics` idiom: O(1) running
+aggregates per table (statement counts by answer source, wall-clock
+totals and extrema), mergeable into a service-wide view.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Literal, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, EmptySubspaceError, SQLSyntaxError
+from ..queries.query import Query
+from .executor import ExactQueryEngine
+from .sqlfront import ParsedStatement, parse_script, parse_statement
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..queries.query import QueryAnswer
+    from .storage import SQLiteDataStore
+
+__all__ = [
+    "AnalyticsService",
+    "ServingStatistics",
+    "StatementResult",
+    "DEFAULT_NORM_ORDER",
+]
+
+#: Norm order assumed for tables without a registered model (Euclidean).
+DEFAULT_NORM_ORDER = 2.0
+
+_MODES = ("exact", "model", "hybrid")
+_ROUTES = (None, "scan", "indexed", "auto")
+
+
+@dataclass
+class ServingStatistics:
+    """Cumulative serving statistics of one table (or of the whole service).
+
+    Mirrors :class:`~repro.dbms.executor.ExecutionStatistics`: only O(1)
+    running aggregates are kept, so recording a statement stream of any
+    length costs constant memory.  ``model_answered`` / ``exact_answered``
+    / ``fallback_count`` partition the executed statements by answer
+    source (a fallback is a hybrid statement the model could not cover, so
+    it was re-routed to the exact engine).
+    """
+
+    statements_executed: int = 0
+    batches_executed: int = 0
+    model_answered: int = 0
+    exact_answered: int = 0
+    fallback_count: int = 0
+    empty_count: int = 0
+    total_seconds: float = 0.0
+    min_statement_seconds: float = math.inf
+    max_statement_seconds: float = 0.0
+
+    def record_batch(
+        self,
+        count: int,
+        *,
+        model_answered: int = 0,
+        exact_answered: int = 0,
+        fallbacks: int = 0,
+        empties: int = 0,
+        seconds: float = 0.0,
+    ) -> None:
+        """Add one statement group's counters.
+
+        Per-statement latency extrema are the amortised share of the group
+        wall-clock time, matching the engines' batched accounting.
+        """
+        if count <= 0:
+            return
+        amortised = seconds / count
+        self.statements_executed += count
+        self.batches_executed += 1
+        self.model_answered += model_answered
+        self.exact_answered += exact_answered
+        self.fallback_count += fallbacks
+        self.empty_count += empties
+        self.total_seconds += seconds
+        self.min_statement_seconds = min(self.min_statement_seconds, amortised)
+        self.max_statement_seconds = max(self.max_statement_seconds, amortised)
+
+    @property
+    def fallback_rate(self) -> float:
+        """Fraction of executed statements answered by the hybrid fallback."""
+        if self.statements_executed == 0:
+            return 0.0
+        return self.fallback_count / self.statements_executed
+
+    @property
+    def mean_seconds(self) -> float:
+        """Average per-statement serving time in seconds (0 when unused)."""
+        if self.statements_executed == 0:
+            return 0.0
+        return self.total_seconds / self.statements_executed
+
+    @property
+    def min_seconds(self) -> float:
+        """Smallest amortised per-statement latency seen (0 when unused)."""
+        if self.statements_executed == 0:
+            return 0.0
+        return self.min_statement_seconds
+
+    @property
+    def max_seconds(self) -> float:
+        """Largest amortised per-statement latency seen (0 when unused)."""
+        return self.max_statement_seconds
+
+    def merge(self, other: "ServingStatistics") -> None:
+        """Fold another statistics object into this one (counters add)."""
+        self.statements_executed += other.statements_executed
+        self.batches_executed += other.batches_executed
+        self.model_answered += other.model_answered
+        self.exact_answered += other.exact_answered
+        self.fallback_count += other.fallback_count
+        self.empty_count += other.empty_count
+        self.total_seconds += other.total_seconds
+        self.min_statement_seconds = min(
+            self.min_statement_seconds, other.min_statement_seconds
+        )
+        self.max_statement_seconds = max(
+            self.max_statement_seconds, other.max_statement_seconds
+        )
+
+    def reset(self) -> None:
+        """Clear all counters."""
+        self.statements_executed = 0
+        self.batches_executed = 0
+        self.model_answered = 0
+        self.exact_answered = 0
+        self.fallback_count = 0
+        self.empty_count = 0
+        self.total_seconds = 0.0
+        self.min_statement_seconds = math.inf
+        self.max_statement_seconds = 0.0
+
+
+@dataclass(frozen=True)
+class StatementResult:
+    """The served answer of one statement of a script.
+
+    Attributes
+    ----------
+    statement:
+        The parsed statement this result answers.
+    value:
+        * Q1 — the (exact or predicted) mean value, ``None`` when the
+          exact subspace was empty;
+        * Q2 — a list of ``(intercept, slope)`` pairs (one exact pair, or
+          the model's local planes), ``None`` when the exact subspace was
+          empty;
+        * COUNT — the exact subspace cardinality (0 for an empty
+          subspace; counts are always defined).
+    source:
+        ``"model"`` (answered from the trained model), ``"exact"``
+        (answered by the exact engine because the mode asked for it, the
+        statement was a COUNT, or the table has no model), or
+        ``"fallback"`` (hybrid statement the model had no coverage for,
+        re-routed to the exact engine).
+    empty:
+        ``True`` when an exact execution selected no rows, leaving a
+        Q1/Q2 ``value`` of ``None`` (the documented empty answer of the
+        batched ``on_empty="null"`` contract).
+    """
+
+    statement: ParsedStatement
+    value: float | int | list | None
+    source: Literal["model", "exact", "fallback"]
+    empty: bool = False
+
+    @property
+    def kind(self) -> str:
+        """The statement kind (``"q1"``, ``"q2"`` or ``"count"``)."""
+        return self.statement.kind
+
+    @property
+    def table(self) -> str:
+        """The table the statement ran against."""
+        return self.statement.table
+
+
+class AnalyticsService:
+    """Batched multi-statement serving over exact engines and trained models.
+
+    Parameters
+    ----------
+    engines:
+        Optional initial mapping of table name to exact engine
+        (:class:`~repro.dbms.executor.ExactQueryEngine` or
+        :class:`~repro.dbms.sharding.ShardedQueryEngine` — anything with
+        the ``execute_q1_batch`` / ``execute_q2_batch`` contract).
+    models:
+        Optional initial mapping of table name to trained model
+        (:class:`~repro.core.model.LLMModel` interface).
+    route:
+        Optional routing policy (``"scan"``, ``"indexed"`` or ``"auto"``)
+        forwarded call-scoped to engines that advertise
+        ``supports_route`` (the sharded engine); single engines ignore it.
+    """
+
+    def __init__(
+        self,
+        engines: Mapping[str, object] | None = None,
+        models: Mapping[str, object] | None = None,
+        *,
+        route: str | None = None,
+    ) -> None:
+        if route not in _ROUTES:
+            raise ConfigurationError(
+                f"route must be one of {_ROUTES[1:]} or None, got {route!r}"
+            )
+        self._engines: dict[str, object] = dict(engines or {})
+        self._models: dict[str, object] = dict(models or {})
+        self._route = route
+        self._statistics: dict[str, ServingStatistics] = {}
+
+    # ------------------------------------------------------------------ #
+    # registry / model lifecycle
+    # ------------------------------------------------------------------ #
+    def register_engine(self, table: str, engine: object) -> None:
+        """Attach an exact engine under a table name."""
+        self._engines[table] = engine
+
+    def register_model(self, table: str, model: object) -> None:
+        """Attach a trained model under a table name."""
+        self._models[table] = model
+
+    def register_model_from_file(self, table: str, path: object) -> object:
+        """Load a persisted model (:func:`~repro.core.persistence.load_model`)
+        and register it under ``table``; returns the loaded model."""
+        from ..core.persistence import load_model
+
+        model = load_model(path)  # type: ignore[arg-type]
+        self.register_model(table, model)
+        return model
+
+    def register_table_from_store(
+        self,
+        store: "SQLiteDataStore",
+        table_name: str,
+        *,
+        table: str | None = None,
+        use_index: bool = True,
+    ) -> ExactQueryEngine:
+        """Build an exact engine over a catalogued store table and register it.
+
+        ``table`` overrides the serving name (defaults to the store table
+        name); returns the constructed engine.
+        """
+        engine = ExactQueryEngine.from_store(store, table_name, use_index=use_index)
+        self.register_engine(table or table_name, engine)
+        return engine
+
+    @property
+    def tables(self) -> list[str]:
+        """All table names known to the service."""
+        return sorted(set(self._engines) | set(self._models))
+
+    @property
+    def route(self) -> str | None:
+        """The routing policy forwarded to route-aware engines."""
+        return self._route
+
+    def engine_for(self, table: str) -> object:
+        """The exact engine of a table (raises when none is registered)."""
+        try:
+            return self._engines[table]
+        except KeyError as exc:
+            raise SQLSyntaxError(
+                f"no exact engine registered for table {table!r}"
+            ) from exc
+
+    def model_for(self, table: str) -> object:
+        """The trained model of a table (raises when none is registered)."""
+        try:
+            return self._models[table]
+        except KeyError as exc:
+            raise SQLSyntaxError(
+                f"no trained model registered for table {table!r}"
+            ) from exc
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def statistics_for(self, table: str) -> ServingStatistics:
+        """The per-table serving statistics (created on first access)."""
+        if table not in self._statistics:
+            self._statistics[table] = ServingStatistics()
+        return self._statistics[table]
+
+    @property
+    def per_table_statistics(self) -> Mapping[str, ServingStatistics]:
+        """Read-only view of the per-table statistics recorded so far."""
+        return dict(self._statistics)
+
+    @property
+    def statistics(self) -> ServingStatistics:
+        """Service-wide aggregate of every table's serving statistics."""
+        total = ServingStatistics()
+        for stats in self._statistics.values():
+            total.merge(stats)
+        return total
+
+    def reset_statistics(self) -> None:
+        """Clear the serving statistics of every table."""
+        self._statistics.clear()
+
+    # ------------------------------------------------------------------ #
+    # norm resolution (per-table geometry)
+    # ------------------------------------------------------------------ #
+    def resolve_norm_order(self, table: str) -> float:
+        """The Lp order statements against ``table`` default to.
+
+        A registered model pins the geometry it was trained with
+        (``model.config.norm_order``); tables without a model default to
+        the Euclidean norm.  An explicit ``NORM p`` clause on a statement
+        always wins over this default.
+        """
+        model = self._models.get(table)
+        order = getattr(getattr(model, "config", None), "norm_order", None)
+        if order is not None:
+            return float(order)
+        return DEFAULT_NORM_ORDER
+
+    def _statement_query(self, statement: ParsedStatement) -> Query:
+        return statement.to_query(self.resolve_norm_order(statement.table))
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def execute(self, sql: str | ParsedStatement, *, mode: str = "hybrid"):
+        """Parse and serve one statement, returning its bare value.
+
+        Raises
+        ------
+        EmptySubspaceError
+            When the exact subspace of a Q1/Q2 statement is empty (its
+            answer is undefined) — the clean, always-on replacement for
+            the seed front end's ``assert`` on the Q2 coefficients.
+        """
+        statement = (
+            sql if isinstance(sql, ParsedStatement) else parse_statement(sql)
+        )
+        result = self.execute_script([statement], mode=mode)[0]
+        if result.empty and result.kind != "count":
+            raise EmptySubspaceError(
+                f"statement over table {result.table!r} selected no rows; its "
+                f"exact {result.kind.upper()} answer is undefined"
+            )
+        return result.value
+
+    def execute_script(
+        self,
+        script: str | Sequence[str | ParsedStatement],
+        *,
+        mode: str = "hybrid",
+    ) -> list[StatementResult]:
+        """Serve a multi-statement script through the batched fast paths.
+
+        The script (a ``;``-separated string, or a sequence of statement
+        strings / :class:`~repro.dbms.sqlfront.ParsedStatement` objects)
+        is parsed, grouped by ``(table, kind)``, and every group is served
+        in one batch: exact groups through ``execute_q1_batch`` /
+        ``execute_q2_batch``, model groups through ``predict_mean_batch``
+        / ``predict_q2_batch``, hybrid groups through the
+        coverage-reporting model paths with a single batched exact
+        fallback for the uncovered queries.  Results come back in
+        statement order; empty exact subspaces follow the documented
+        ``on_empty="null"`` contract (``value=None``, ``empty=True``)
+        instead of raising mid-script.
+        """
+        if mode not in _MODES:
+            raise SQLSyntaxError(
+                f"unknown execution mode {mode!r} (expected one of {_MODES})"
+            )
+        statements = self._parse_input(script)
+        results: list[StatementResult | None] = [None] * len(statements)
+        groups: dict[tuple[str, str], list[int]] = {}
+        for position, statement in enumerate(statements):
+            groups.setdefault((statement.table, statement.kind), []).append(position)
+        for (table, kind), positions in groups.items():
+            group_statements = [statements[i] for i in positions]
+            queries = [self._statement_query(s) for s in group_statements]
+            start = time.perf_counter()
+            group_results = self._execute_group(
+                table, kind, group_statements, queries, mode
+            )
+            elapsed = time.perf_counter() - start
+            self.statistics_for(table).record_batch(
+                len(group_results),
+                model_answered=sum(r.source == "model" for r in group_results),
+                exact_answered=sum(r.source == "exact" for r in group_results),
+                fallbacks=sum(r.source == "fallback" for r in group_results),
+                empties=sum(r.empty for r in group_results),
+                seconds=elapsed,
+            )
+            for position, result in zip(positions, group_results):
+                results[position] = result
+        return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _parse_input(
+        script: str | Sequence[str | ParsedStatement],
+    ) -> list[ParsedStatement]:
+        if isinstance(script, str):
+            return parse_script(script)
+        return [
+            item if isinstance(item, ParsedStatement) else parse_statement(item)
+            for item in script
+        ]
+
+    # ------------------------------------------------------------------ #
+    # group execution paths
+    # ------------------------------------------------------------------ #
+    def _execute_group(
+        self,
+        table: str,
+        kind: str,
+        statements: list[ParsedStatement],
+        queries: list[Query],
+        mode: str,
+    ) -> list[StatementResult]:
+        if kind == "count":
+            if mode == "model":
+                raise SQLSyntaxError(
+                    "COUNT(*) requires exact execution; the model does not "
+                    "estimate cardinalities"
+                )
+            return self._execute_exact_group(table, kind, statements, queries, "exact")
+        if mode == "exact":
+            return self._execute_exact_group(table, kind, statements, queries, "exact")
+        if mode == "model":
+            return self._execute_model_group(table, kind, statements, queries)
+        # hybrid
+        model = self._models.get(table)
+        if model is None:
+            # No model to serve from: the whole group is exact (this is
+            # deliberate registry state, not a coverage miss, so it does
+            # not count toward the fallback rate).
+            return self._execute_exact_group(table, kind, statements, queries, "exact")
+        if not getattr(model, "is_fitted", True):
+            # A registered-but-untrained model covers nothing.
+            return self._execute_exact_group(
+                table, kind, statements, queries, "fallback"
+            )
+        return self._execute_hybrid_group(table, kind, statements, queries, model)
+
+    def _batch_kwargs(self, engine: object) -> dict:
+        kwargs: dict = {"on_empty": "null"}
+        if self._route is not None and getattr(engine, "supports_route", False):
+            kwargs["route"] = self._route
+        return kwargs
+
+    def _execute_exact_group(
+        self,
+        table: str,
+        kind: str,
+        statements: list[ParsedStatement],
+        queries: list[Query],
+        source: str,
+    ) -> list[StatementResult]:
+        engine = self.engine_for(table)
+        results: list[StatementResult] = []
+        if kind == "q2":
+            answers = engine.execute_q2_batch(queries, **self._batch_kwargs(engine))  # type: ignore[attr-defined]
+            for statement, answer in zip(statements, answers):
+                results.append(self._exact_q2_result(statement, answer, source))
+            return results
+        answers = engine.execute_q1_batch(queries, **self._batch_kwargs(engine))  # type: ignore[attr-defined]
+        if kind == "count":
+            for statement, answer in zip(statements, answers):
+                # The count of an empty subspace is a defined answer: 0.
+                results.append(
+                    StatementResult(
+                        statement=statement,
+                        value=0 if answer is None else int(answer.cardinality),
+                        source=source,  # type: ignore[arg-type]
+                    )
+                )
+            return results
+        for statement, answer in zip(statements, answers):
+            results.append(
+                StatementResult(
+                    statement=statement,
+                    value=None if answer is None else float(answer.mean),
+                    source=source,  # type: ignore[arg-type]
+                    empty=answer is None,
+                )
+            )
+        return results
+
+    @staticmethod
+    def _exact_q2_result(
+        statement: ParsedStatement, answer: "QueryAnswer | None", source: str
+    ) -> StatementResult:
+        """Build the Q2 result of one exact answer.
+
+        An empty subspace — or a (custom) engine handing back an answer
+        without coefficients — is the documented empty answer, never an
+        ``assert``: ``value=None`` with ``empty=True``, which the
+        single-statement path converts into a clean
+        :class:`~repro.exceptions.EmptySubspaceError`.
+        """
+        if answer is None or answer.coefficients is None:
+            return StatementResult(
+                statement=statement, value=None, source=source, empty=True  # type: ignore[arg-type]
+            )
+        intercept = float(answer.coefficients[0])
+        slope = np.asarray(answer.coefficients[1:], dtype=float)
+        return StatementResult(
+            statement=statement, value=[(intercept, slope)], source=source  # type: ignore[arg-type]
+        )
+
+    def _execute_model_group(
+        self,
+        table: str,
+        kind: str,
+        statements: list[ParsedStatement],
+        queries: list[Query],
+    ) -> list[StatementResult]:
+        model = self.model_for(table)
+        if kind == "q1":
+            values = model.predict_mean_batch(queries)  # type: ignore[attr-defined]
+            return [
+                StatementResult(statement=s, value=float(v), source="model")
+                for s, v in zip(statements, values)
+            ]
+        plane_lists = model.predict_q2_batch(queries)  # type: ignore[attr-defined]
+        return [
+            StatementResult(
+                statement=s,
+                value=[(plane.intercept, plane.slope) for plane in planes],
+                source="model",
+            )
+            for s, planes in zip(statements, plane_lists)
+        ]
+
+    def _execute_hybrid_group(
+        self,
+        table: str,
+        kind: str,
+        statements: list[ParsedStatement],
+        queries: list[Query],
+        model: object,
+    ) -> list[StatementResult]:
+        """Answer from the model; batch-fallback uncovered queries to exact.
+
+        Coverage is the model's own confidence signal: a query whose
+        overlap set ``W(q)`` is empty would be answered by extrapolation
+        from the closest prototype, so the hybrid mode re-routes exactly
+        those queries to the exact engine (when one is registered).
+        """
+        if kind == "q1":
+            values, covered = model.predict_mean_batch_with_coverage(queries)  # type: ignore[attr-defined]
+            model_values: list = [float(v) for v in values]
+        else:
+            plane_lists, covered = model.predict_q2_batch_with_coverage(queries)  # type: ignore[attr-defined]
+            model_values = [
+                [(plane.intercept, plane.slope) for plane in planes]
+                for planes in plane_lists
+            ]
+        covered = np.asarray(covered, dtype=bool)
+        if table not in self._engines:
+            # No exact tier to fall back to: serve everything from the
+            # model (uncovered queries get the extrapolated answer).
+            return [
+                StatementResult(statement=s, value=v, source="model")
+                for s, v in zip(statements, model_values)
+            ]
+        results: list[StatementResult | None] = [None] * len(statements)
+        uncovered = np.nonzero(~covered)[0]
+        if uncovered.size:
+            fallback_results = self._execute_exact_group(
+                table,
+                kind,
+                [statements[int(i)] for i in uncovered],
+                [queries[int(i)] for i in uncovered],
+                "fallback",
+            )
+            for position, result in zip(uncovered, fallback_results):
+                results[int(position)] = result
+        for position in np.nonzero(covered)[0]:
+            index = int(position)
+            results[index] = StatementResult(
+                statement=statements[index],
+                value=model_values[index],
+                source="model",
+            )
+        return results  # type: ignore[return-value]

@@ -243,6 +243,11 @@ class ShardedQueryEngine:
     through it unchanged.
     """
 
+    #: The batch entry points accept a call-scoped ``route=`` argument;
+    #: batch-routing callers (the serving layer, the streaming trainer)
+    #: check this marker before forwarding a routing policy.
+    supports_route = True
+
     def __init__(
         self,
         dataset: SyntheticDataset,

@@ -10,32 +10,51 @@ users can express analytics queries declaratively:
     -- Q1: mean-value query over a dNN subspace
     SELECT AVG(u) FROM sensors WITHIN 0.1 OF (0.3, 0.5);
 
-    -- Q2: regression query over a dNN subspace
-    SELECT REGRESSION(u) FROM sensors WITHIN 0.1 OF (0.3, 0.5);
+    -- Q2: regression query over a dNN subspace, Manhattan ball
+    SELECT REGRESSION(u) FROM sensors WITHIN 0.1 OF (0.3, 0.5) NORM 1;
 
     -- count of the selected subspace
     SELECT COUNT(*) FROM sensors WITHIN 0.1 OF (0.3, 0.5);
 
+Statements compose into ``;``-separated multi-statement scripts
+(:func:`parse_script`), and the optional ``NORM p`` clause selects the Lp
+ball geometry of the selection operator (``NORM INF`` for the Chebyshev
+norm).  Without the clause, the norm is resolved *per table* at execution
+time from the registered model's configuration, so approximate answers are
+always produced under the geometry the model was trained with.
+
 A session can run statements in *exact* mode (against the
-:class:`~repro.dbms.executor.ExactQueryEngine`) or *approximate* mode
-(against a trained :class:`~repro.core.model.LLMModel`), mirroring the
-system context of Figure 2 where the model answers queries after training
-without touching the data.
+:class:`~repro.dbms.executor.ExactQueryEngine`), *model* mode (against a
+trained :class:`~repro.core.model.LLMModel`; ``"approximate"`` is accepted
+as a legacy alias) or *hybrid* mode — answered from the model with a
+transparent per-query fallback to the exact engine when the model has no
+overlapping prototypes — mirroring the system context of Figure 2 where
+the model answers queries after training without touching the data.  The
+heavy lifting lives in :class:`~repro.dbms.serving.AnalyticsService`;
+:class:`AnalyticsSession` is the thin per-user façade over it.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Literal
+from typing import TYPE_CHECKING, Literal, Sequence
 
 import numpy as np
 
-from ..exceptions import SQLSyntaxError
+from ..exceptions import ConfigurationError, SQLSyntaxError
 from ..queries.query import Query
-from .executor import ExactQueryEngine
 
-__all__ = ["ParsedStatement", "parse_statement", "AnalyticsSession"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dbms.executor import ExactQueryEngine
+    from .serving import AnalyticsService, StatementResult
+
+__all__ = [
+    "ParsedStatement",
+    "parse_statement",
+    "parse_script",
+    "AnalyticsSession",
+]
 
 _STATEMENT_RE = re.compile(
     r"""
@@ -44,27 +63,48 @@ _STATEMENT_RE = re.compile(
     \s+FROM\s+(?P<table>[A-Za-z_][A-Za-z0-9_]*)
     \s+WITHIN\s+(?P<radius>[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)
     \s+OF\s*\(\s*(?P<center>[^)]*)\s*\)
+    (?:\s+NORM\s+(?P<norm>INF(?:INITY)?|[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?))?
     \s*;?\s*$
     """,
     re.IGNORECASE | re.VERBOSE,
 )
 
+#: ``--``-to-end-of-line comments stripped from scripts before parsing.
+_COMMENT_RE = re.compile(r"--[^\n]*")
+
 
 @dataclass(frozen=True)
 class ParsedStatement:
-    """Structured representation of one analytics statement."""
+    """Structured representation of one analytics statement.
+
+    ``norm_order`` is the Lp order of an explicit ``NORM p`` clause, or
+    ``None`` when the statement leaves the geometry to be resolved by the
+    session (from the table's registered model, defaulting to Euclidean).
+    """
 
     kind: Literal["q1", "q2", "count"]
     table: str
     center: tuple[float, ...]
     radius: float
+    norm_order: float | None = None
 
-    def to_query(self, norm_order: float = 2.0) -> Query:
-        """Build the library's query object from the parsed statement."""
+    def to_query(self, norm_order: float | None = None) -> Query:
+        """Build the library's query object from the parsed statement.
+
+        The resolution precedence is: an explicit ``NORM p`` clause on the
+        statement wins; otherwise the caller's per-table default
+        (``norm_order`` argument) applies; otherwise the Euclidean norm.
+        """
+        if self.norm_order is not None:
+            order = self.norm_order
+        elif norm_order is not None:
+            order = float(norm_order)
+        else:
+            order = 2.0
         return Query(
             center=np.asarray(self.center, dtype=float),
             radius=self.radius,
-            norm_order=norm_order,
+            norm_order=order,
         )
 
 
@@ -75,13 +115,13 @@ def parse_statement(sql: str) -> ParsedStatement:
     ------
     SQLSyntaxError
         If the statement does not match the dialect grammar or has an
-        invalid center/radius.
+        invalid center/radius/norm.
     """
     match = _STATEMENT_RE.match(sql)
     if match is None:
         raise SQLSyntaxError(
             "statement does not match 'SELECT AVG(u)|REGRESSION(u)|COUNT(*) "
-            f"FROM <table> WITHIN <radius> OF (<center>)': {sql!r}"
+            f"FROM <table> WITHIN <radius> OF (<center>) [NORM <p>]': {sql!r}"
         )
     projection = match.group("projection").upper().replace(" ", "")
     if projection.startswith("AVG"):
@@ -100,46 +140,107 @@ def parse_statement(sql: str) -> ParsedStatement:
     radius = float(match.group("radius"))
     if radius <= 0:
         raise SQLSyntaxError(f"radius must be positive, got {radius}")
+    norm_text = match.group("norm")
+    norm_order: float | None = None
+    if norm_text is not None:
+        norm_order = (
+            float("inf") if norm_text.upper().startswith("INF") else float(norm_text)
+        )
+        if norm_order < 1.0:
+            raise SQLSyntaxError(f"NORM order must be >= 1, got {norm_order}")
     return ParsedStatement(
-        kind=kind, table=match.group("table"), center=center, radius=radius
+        kind=kind,
+        table=match.group("table"),
+        center=center,
+        radius=radius,
+        norm_order=norm_order,
     )
+
+
+def parse_script(sql: str) -> list[ParsedStatement]:
+    """Parse a ``;``-separated multi-statement script.
+
+    ``--`` comments run to the end of their line; empty statements (e.g.
+    produced by a trailing semicolon or blank lines) are skipped.
+    """
+    text = _COMMENT_RE.sub("", sql)
+    return [parse_statement(chunk) for chunk in text.split(";") if chunk.strip()]
 
 
 class AnalyticsSession:
     """Execute analytics statements against exact engines and/or trained models.
 
+    The session is a thin façade over
+    :class:`~repro.dbms.serving.AnalyticsService` — one registry of
+    per-table exact engines and trained models, shared batched execution
+    paths, and serving statistics.  Multiple sessions can share one service
+    (pass ``service=``), which is how a deployment serves many users from a
+    single registry of trained models.
+
     Parameters
     ----------
     engines:
         Mapping of table name to exact engine; used by exact execution and
-        as a fallback for count statements.
+        as the fallback tier of hybrid execution.
     models:
-        Mapping of table name to trained LLM model (``predict_mean`` /
-        ``regression_models`` interface); used by approximate execution.
+        Mapping of table name to trained LLM model (``predict_mean_batch``
+        / ``predict_q2_batch`` interface); used by model-side execution.
+    service:
+        An existing :class:`~repro.dbms.serving.AnalyticsService` to attach
+        to instead of building a private one (mutually exclusive with
+        ``engines`` / ``models``).
     """
 
     def __init__(
         self,
-        engines: dict[str, ExactQueryEngine] | None = None,
+        engines: "dict[str, ExactQueryEngine] | None" = None,
         models: dict[str, object] | None = None,
+        *,
+        service: "AnalyticsService | None" = None,
     ) -> None:
-        self._engines: dict[str, ExactQueryEngine] = dict(engines or {})
-        self._models: dict[str, object] = dict(models or {})
+        if service is not None and (engines or models):
+            raise ConfigurationError(
+                "pass either an existing service or engines/models, not both"
+            )
+        if service is None:
+            from .serving import AnalyticsService
 
-    def register_engine(self, table: str, engine: ExactQueryEngine) -> None:
+            service = AnalyticsService(engines=engines, models=models)
+        self._service = service
+
+    @property
+    def service(self) -> "AnalyticsService":
+        """The underlying serving layer (registry, batch paths, statistics)."""
+        return self._service
+
+    def register_engine(self, table: str, engine: "ExactQueryEngine") -> None:
         """Attach an exact engine under a table name."""
-        self._engines[table] = engine
+        self._service.register_engine(table, engine)
 
     def register_model(self, table: str, model: object) -> None:
         """Attach a trained approximate model under a table name."""
-        self._models[table] = model
+        self._service.register_model(table, model)
 
     @property
     def tables(self) -> list[str]:
         """All table names known to the session."""
-        return sorted(set(self._engines) | set(self._models))
+        return self._service.tables
 
-    def execute(self, sql: str, *, mode: Literal["exact", "approximate"] = "exact"):
+    @staticmethod
+    def _resolve_mode(mode: str) -> str:
+        # "approximate" is the seed-era name for model-side execution.
+        if mode == "approximate":
+            return "model"
+        if mode in ("exact", "model", "hybrid"):
+            return mode
+        raise SQLSyntaxError(f"unknown execution mode {mode!r}")
+
+    def execute(
+        self,
+        sql: str,
+        *,
+        mode: Literal["exact", "approximate", "model", "hybrid"] = "exact",
+    ):
         """Parse and run one statement.
 
         Returns
@@ -148,53 +249,31 @@ class AnalyticsSession:
             * Q1 returns the (exact or predicted) mean value,
             * Q2 returns a list of ``(intercept, slope)`` pairs — a single
               pair in exact mode (REG over the subspace), possibly several
-              in approximate mode (the local linear models),
-            * COUNT returns the subspace cardinality (exact mode only).
+              in model mode (the local linear models),
+            * COUNT returns the subspace cardinality (served exactly).
+
+        Raises
+        ------
+        EmptySubspaceError
+            When an exact Q1/Q2 answer is undefined because the subspace
+            selected no rows (including a hybrid fallback landing on an
+            empty subspace).
         """
-        statement = parse_statement(sql)
-        if mode == "exact":
-            return self._execute_exact(statement)
-        if mode == "approximate":
-            return self._execute_approximate(statement)
-        raise SQLSyntaxError(f"unknown execution mode {mode!r}")
+        return self._service.execute(sql, mode=self._resolve_mode(mode))
 
-    # ------------------------------------------------------------------ #
-    # execution paths
-    # ------------------------------------------------------------------ #
-    def _engine_for(self, table: str) -> ExactQueryEngine:
-        try:
-            return self._engines[table]
-        except KeyError as exc:
-            raise SQLSyntaxError(f"no exact engine registered for table {table!r}") from exc
+    def execute_script(
+        self,
+        script: str | Sequence[str],
+        *,
+        mode: Literal["exact", "approximate", "model", "hybrid"] = "exact",
+    ) -> "list[StatementResult]":
+        """Run a multi-statement script through the batched serving layer.
 
-    def _model_for(self, table: str):
-        try:
-            return self._models[table]
-        except KeyError as exc:
-            raise SQLSyntaxError(f"no trained model registered for table {table!r}") from exc
-
-    def _execute_exact(self, statement: ParsedStatement):
-        engine = self._engine_for(statement.table)
-        query = statement.to_query()
-        if statement.kind == "q1":
-            return engine.execute_q1(query).mean
-        if statement.kind == "count":
-            return engine.cardinality(query)
-        answer = engine.execute_q2(query)
-        assert answer.coefficients is not None
-        intercept = float(answer.coefficients[0])
-        slope = np.asarray(answer.coefficients[1:], dtype=float)
-        return [(intercept, slope)]
-
-    def _execute_approximate(self, statement: ParsedStatement):
-        model = self._model_for(statement.table)
-        query = statement.to_query()
-        if statement.kind == "q1":
-            return float(model.predict_mean(query))  # type: ignore[attr-defined]
-        if statement.kind == "count":
-            raise SQLSyntaxError(
-                "COUNT(*) requires exact execution; the approximate model does "
-                "not estimate cardinalities"
-            )
-        models = model.regression_models(query)  # type: ignore[attr-defined]
-        return [(m.intercept, m.slope) for m in models]
+        Statements are grouped by table and kind and answered through the
+        batch engines; see
+        :meth:`~repro.dbms.serving.AnalyticsService.execute_script`.  Both
+        session entry points default to ``"exact"`` (the seed front end's
+        contract); the service's own entry points default to ``"hybrid"``,
+        the serving-native mode.
+        """
+        return self._service.execute_script(script, mode=self._resolve_mode(mode))

@@ -13,6 +13,7 @@ training / testing workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -38,6 +39,9 @@ from ..metrics.evaluation import (
 from ..queries.query import Query, QueryResultPair
 from ..queries.stream import LabelledWorkload
 from ..queries.workload import QueryWorkloadGenerator, RadiusDistribution, WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dbms.serving import AnalyticsService
 from .timing import measure_amortized_latency, measure_mean_latency
 
 __all__ = [
@@ -180,6 +184,31 @@ class ExperimentContext:
             engine=engine,
         )
         return model, breakdown
+
+    def serving_service(
+        self,
+        model: LLMModel | None = None,
+        *,
+        table: str | None = None,
+        engine: "object | None" = None,
+        route: str | None = None,
+    ) -> "AnalyticsService":
+        """Build an :class:`~repro.dbms.serving.AnalyticsService` over this context.
+
+        The context's exact engine (or an explicit ``engine``, e.g. a
+        sharded one over the same dataset) is registered under ``table``
+        (defaulting to the dataset name), together with an optional trained
+        model — the standard setup of the serving benchmark and the hybrid
+        serving experiments.
+        """
+        from ..dbms.serving import AnalyticsService
+
+        name = table or self.dataset_name
+        service = AnalyticsService(route=route)
+        service.register_engine(name, engine if engine is not None else self.engine)
+        if model is not None:
+            service.register_model(name, model)
+        return service
 
 
 #: Upper bound on the radius of analyst-scale Q2 evaluation subspaces (unit

@@ -82,6 +82,20 @@ class Query:
             )
         return cls(center=vec[:-1].copy(), radius=float(vec[-1]), norm_order=norm_order)
 
+    def with_norm_order(self, norm_order: float) -> "Query":
+        """Return the same subspace query under a different Lp norm.
+
+        Convenience for callers comparing one subspace across geometries
+        (e.g. pinning how an exact answer changes between the Euclidean
+        and Chebyshev ball).  Queries are immutable, so a new instance is
+        returned; ``self`` when the order already matches.
+        """
+        if float(norm_order) == self.norm_order:
+            return self
+        return Query(
+            center=self.center, radius=self.radius, norm_order=float(norm_order)
+        )
+
     def distance_to(self, other: "Query") -> float:
         """Euclidean distance to another query in the query vectorial space."""
         if self.dimension != other.dimension:

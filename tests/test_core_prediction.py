@@ -123,6 +123,87 @@ class TestQ2Prediction:
         assert plane.intercept == pytest.approx(1.0 - 2.0 * 0.5)
 
 
+class TestCoverageSignal:
+    def test_coverage_mask_marks_extrapolated_rows(self, maps):
+        predictor = NeighborhoodPredictor(maps)
+        matrix = np.array(
+            [
+                [0.5, 0.5, 0.2],  # overlaps the middle prototype
+                [4.0, 4.0, 0.05],  # far outside every prototype
+            ]
+        )
+        covered = predictor.batch_coverage(matrix)
+        assert covered.tolist() == [True, False]
+
+    def test_with_coverage_values_match_plain_batch(self, maps):
+        predictor = NeighborhoodPredictor(maps)
+        rng = np.random.default_rng(3)
+        matrix = np.hstack(
+            [rng.uniform(-1, 2, size=(32, 2)), rng.uniform(0.05, 0.3, size=(32, 1))]
+        )
+        plain = predictor.predict_mean_batch(matrix)
+        values, covered = predictor.predict_mean_batch_with_coverage(matrix)
+        assert np.array_equal(plain, values)
+        assert np.array_equal(covered, predictor.batch_coverage(matrix))
+        # Covered rows agree with the single-query path's diagnostics.
+        for row, is_covered in zip(matrix, covered):
+            query = Query(center=row[:-1], radius=float(row[-1]))
+            _, diagnostics = predictor.predict_mean_with_diagnostics(query)
+            assert bool(is_covered) == (not diagnostics.extrapolated)
+
+    def test_q2_with_coverage_matches_plain_batch(self, maps):
+        predictor = NeighborhoodPredictor(maps)
+        matrix = np.array([[0.5, 0.5, 0.6], [4.0, 4.0, 0.05]])
+        plain = predictor.predict_q2_batch(matrix)
+        planes, covered = predictor.predict_q2_batch_with_coverage(matrix)
+        assert covered.tolist() == [True, False]
+        assert [len(plane_list) for plane_list in plain] == [
+            len(plane_list) for plane_list in planes
+        ]
+        # The uncovered query still gets its extrapolated single plane.
+        assert len(planes[1]) == 1
+        assert planes[1][0].weight == pytest.approx(1.0)
+
+    def test_model_level_coverage_groups_norm_orders(self, maps):
+        from repro.core.persistence import model_from_dict
+
+        # A tiny hand-built model exercising the Query-sequence grouping.
+        payload = {
+            "format_version": 2,
+            "dimension": 2,
+            "config": {
+                "quantization_coefficient": 0.25,
+                "norm_order": 2.0,
+                "vigilance_override": None,
+            },
+            "training": {
+                "convergence_threshold": 0.01,
+                "min_steps": 10,
+                "learning_rate_schedule": "hyperbolic",
+                "learning_rate_scale": 1.0,
+            },
+            "state": {"steps": 3, "frozen": True},
+            "use_pruning_index": None,
+            "maps": [llm.to_dict() for llm in [
+                _llm([0.2, 0.2], 0.1, mean=0.2),
+                _llm([0.8, 0.8], 0.1, mean=0.8),
+            ]],
+        }
+        model = model_from_dict(payload)
+        queries = [
+            Query(center=np.array([0.2, 0.2]), radius=0.1, norm_order=2.0),
+            Query(center=np.array([4.0, 4.0]), radius=0.1, norm_order=1.0),
+            Query(center=np.array([0.8, 0.8]), radius=0.1, norm_order=float("inf")),
+        ]
+        values, covered = model.predict_mean_batch_with_coverage(queries)
+        assert covered.tolist() == [True, False, True]
+        assert np.array_equal(values, model.predict_mean_batch(queries))
+        assert np.array_equal(covered, model.coverage_batch(queries))
+        plane_lists, q2_covered = model.predict_q2_batch_with_coverage(queries)
+        assert q2_covered.tolist() == [True, False, True]
+        assert len(plane_lists) == 3
+
+
 class TestValuePrediction:
     def test_value_prediction_uses_own_radius(self):
         # Radius slope is huge; Equation (14) must ignore it by evaluating

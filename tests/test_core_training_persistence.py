@@ -153,3 +153,129 @@ class TestPersistence:
         payload["format_version"] = 99
         with pytest.raises(ReproError):
             model_from_dict(payload)
+
+
+def _synthetic_model_payload(
+    prototype_count: int,
+    *,
+    format_version: int = 2,
+    use_pruning_index: bool | None = None,
+    seed: int = 9,
+) -> dict:
+    """A valid persisted-model payload with an arbitrary prototype count.
+
+    Building large models through the payload keeps the K >= 2048
+    pruning-index round-trip test fast (no training loop needed).
+    """
+    rng = np.random.default_rng(seed)
+    maps = []
+    for _ in range(prototype_count):
+        center = rng.uniform(0, 1, size=2)
+        maps.append(
+            {
+                "prototype": [*center.tolist(), float(rng.uniform(0.05, 0.15))],
+                "mean_output": float(center.sum()),
+                "slope": rng.normal(size=3).tolist(),
+                "updates": int(rng.integers(1, 50)),
+                "difference_second_moment": float(rng.uniform(0.0, 0.2)),
+            }
+        )
+    payload = {
+        "format_version": format_version,
+        "dimension": 2,
+        "config": {
+            "quantization_coefficient": 0.1,
+            "norm_order": 2.0,
+            "vigilance_override": None,
+        },
+        "training": {
+            "convergence_threshold": 0.01,
+            "min_steps": 10,
+            "learning_rate_schedule": "hyperbolic",
+            "learning_rate_scale": 1.0,
+        },
+        "state": {"steps": prototype_count, "frozen": True},
+        "maps": maps,
+    }
+    if format_version >= 2:
+        payload["use_pruning_index"] = use_pruning_index
+    return payload
+
+
+class TestPersistenceBatchPaths:
+    """Save → load must be bit-equal through every batched prediction path."""
+
+    def _assert_batch_equivalence(self, model: LLMModel, restored: LLMModel) -> None:
+        rng = np.random.default_rng(17)
+        centers = rng.uniform(0, 1, size=(64, 2))
+        radii = rng.uniform(0.05, 0.2, size=(64, 1))
+        matrix = np.hstack([centers, radii])
+
+        original_means = model.predict_mean_batch(matrix)
+        restored_means = restored.predict_mean_batch(matrix)
+        assert np.array_equal(original_means, restored_means)
+
+        probe_radius = model.average_prototype_radius()
+        assert probe_radius == restored.average_prototype_radius()
+        original_values = model.predict_value_batch(centers, probe_radius)
+        restored_values = restored.predict_value_batch(centers, probe_radius)
+        assert np.array_equal(original_values, restored_values)
+
+        original_planes = model.predict_q2_batch(matrix)
+        restored_planes = restored.predict_q2_batch(matrix)
+        assert len(original_planes) == len(restored_planes)
+        for original_list, restored_list in zip(original_planes, restored_planes):
+            assert len(original_list) == len(restored_list)
+            for original, copy in zip(original_list, restored_list):
+                assert original.intercept == copy.intercept
+                assert np.array_equal(original.slope, copy.slope)
+                assert original.weight == copy.weight
+
+        original_covered = model.coverage_batch(matrix)
+        restored_covered = restored.coverage_batch(matrix)
+        assert np.array_equal(original_covered, restored_covered)
+
+    def test_trained_model_batch_round_trip(self, tmp_path):
+        rng = np.random.default_rng(2)
+        model = LLMModel(dimension=2, config=ModelConfig(quantization_coefficient=0.1))
+        for _ in range(300):
+            center = rng.uniform(0, 1, size=2)
+            model.partial_fit(Query(center=center, radius=0.1), float(center.sum()))
+        restored = load_model(save_model(model, tmp_path / "model.json"))
+        self._assert_batch_equivalence(model, restored)
+
+    def test_large_pruning_index_model_round_trip(self, tmp_path):
+        # K >= 2048 auto-enables the pruning index; the persisted policy
+        # must survive the round trip and the pruned batch paths must stay
+        # bit-equal to the original model's.
+        model = model_from_dict(
+            _synthetic_model_payload(2_100, use_pruning_index=True)
+        )
+        assert model.use_pruning_index is True
+        assert model.describe()["uses_pruning_index"]
+        restored = load_model(save_model(model, tmp_path / "model.json"))
+        assert restored.use_pruning_index is True
+        assert restored.prototype_count == 2_100
+        self._assert_batch_equivalence(model, restored)
+
+    def test_use_pruning_index_round_trips_all_values(self):
+        for policy in (None, True, False):
+            model = model_from_dict(
+                _synthetic_model_payload(16, use_pruning_index=policy)
+            )
+            payload = model_to_dict(model)
+            assert payload["format_version"] == 2
+            assert payload["use_pruning_index"] is policy
+            assert model_from_dict(payload).use_pruning_index is policy
+
+    def test_v1_payload_still_readable(self):
+        # Seed-era files carry format_version 1 and no pruning policy; they
+        # must load with the policy defaulting to None (predictor auto).
+        payload = _synthetic_model_payload(32, format_version=1)
+        assert "use_pruning_index" not in payload
+        model = model_from_dict(payload)
+        assert model.use_pruning_index is None
+        assert model.prototype_count == 32
+        reserialized = model_to_dict(model)
+        assert reserialized["format_version"] == 2
+        self._assert_batch_equivalence(model, model_from_dict(reserialized))

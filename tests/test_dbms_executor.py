@@ -169,6 +169,31 @@ class TestStatistics:
             for value in vars(stats).values()
         )
 
+    def test_merge_and_snapshot(self):
+        first = ExecutionStatistics()
+        first.record(100, 10, 0.01)
+        second = ExecutionStatistics()
+        second.record(200, 20, 0.03)
+        frozen = first.snapshot()
+        first.merge(second)
+        assert first.queries_executed == 2
+        assert first.rows_scanned == 300
+        assert first.rows_selected == 30
+        assert first.total_seconds == pytest.approx(0.04)
+        assert first.min_seconds == pytest.approx(0.01)
+        assert first.max_seconds == pytest.approx(0.03)
+        # The snapshot is independent of later mutation.
+        assert frozen.queries_executed == 1
+        assert frozen.total_seconds == pytest.approx(0.01)
+
+    def test_merge_with_unused_statistics_keeps_extrema(self):
+        used = ExecutionStatistics()
+        used.record(10, 5, 0.02)
+        used.merge(ExecutionStatistics())
+        assert used.queries_executed == 1
+        assert used.min_seconds == pytest.approx(0.02)
+        assert used.max_seconds == pytest.approx(0.02)
+
     def test_per_query_seconds_deprecated(self):
         stats = ExecutionStatistics()
         stats.record(10, 5, 0.01)

@@ -9,8 +9,8 @@ from repro.config import ModelConfig, TrainingConfig
 from repro.core.model import LLMModel
 from repro.data.synthetic import SyntheticDataset
 from repro.dbms.executor import ExactQueryEngine
-from repro.dbms.sqlfront import AnalyticsSession, parse_statement
-from repro.exceptions import SQLSyntaxError
+from repro.dbms.sqlfront import AnalyticsSession, parse_script, parse_statement
+from repro.exceptions import EmptySubspaceError, SQLSyntaxError
 from repro.queries.query import Query
 from repro.queries.stream import LabelledWorkload
 from repro.queries.workload import QueryWorkloadGenerator, RadiusDistribution, WorkloadSpec
@@ -67,6 +67,60 @@ class TestParseStatement:
     def test_rejects_zero_radius(self):
         with pytest.raises(SQLSyntaxError):
             parse_statement("SELECT AVG(u) FROM t WITHIN 0.0 OF (0.1)")
+
+    def test_norm_clause_defaults_to_none(self):
+        statement = parse_statement("SELECT AVG(u) FROM t WITHIN 0.1 OF (0.3, 0.5)")
+        assert statement.norm_order is None
+
+    @pytest.mark.parametrize(
+        ("clause", "expected"),
+        [
+            ("NORM 1", 1.0),
+            ("NORM 1.5", 1.5),
+            ("norm 2", 2.0),
+            ("NORM INF", float("inf")),
+            ("NORM infinity", float("inf")),
+        ],
+    )
+    def test_norm_clause_parses(self, clause, expected):
+        statement = parse_statement(
+            f"SELECT AVG(u) FROM t WITHIN 0.1 OF (0.3, 0.5) {clause};"
+        )
+        assert statement.norm_order == expected
+        assert statement.to_query().norm_order == expected
+
+    def test_norm_clause_below_one_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("SELECT AVG(u) FROM t WITHIN 0.1 OF (0.3) NORM 0.5")
+
+    def test_to_query_resolution_precedence(self):
+        # No clause: the caller's per-table default applies, then Euclidean.
+        bare = parse_statement("SELECT AVG(u) FROM t WITHIN 0.1 OF (0.3, 0.5)")
+        assert bare.to_query().norm_order == 2.0
+        assert bare.to_query(norm_order=1.0).norm_order == 1.0
+        # Explicit clause: wins over any caller default.
+        clause = parse_statement("SELECT AVG(u) FROM t WITHIN 0.1 OF (0.3, 0.5) NORM INF")
+        assert clause.to_query(norm_order=1.0).norm_order == float("inf")
+
+
+class TestParseScript:
+    def test_splits_statements_and_strips_comments(self):
+        script = """
+        -- exploration
+        SELECT AVG(u) FROM sensors WITHIN 0.1 OF (0.3, 0.5);
+        SELECT COUNT(*) FROM sensors WITHIN 0.1 OF (0.3, 0.5); -- cardinality
+        SELECT REGRESSION(u) FROM sensors WITHIN 0.2 OF (0.4, 0.4) NORM 1;
+        """
+        statements = parse_script(script)
+        assert [statement.kind for statement in statements] == ["q1", "count", "q2"]
+        assert statements[2].norm_order == 1.0
+
+    def test_empty_script(self):
+        assert parse_script("  \n -- nothing here \n") == []
+
+    def test_invalid_statement_in_script(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_script("SELECT AVG(u) FROM t WITHIN 0.1 OF (0.3); DROP TABLE t;")
 
 
 @pytest.fixture(scope="module")
@@ -148,3 +202,53 @@ class TestAnalyticsSession:
             session.execute(
                 "SELECT AVG(u) FROM sensors WITHIN 0.2 OF (0.5, 0.5)", mode="bogus"
             )
+
+    def test_hybrid_mode(self, session):
+        value = session.execute(
+            "SELECT AVG(u) FROM sensors WITHIN 0.15 OF (0.4, 0.6)", mode="hybrid"
+        )
+        assert np.isfinite(value)
+
+    def test_empty_exact_subspace_raises_cleanly(self, session):
+        # The seed front end guarded exact Q2 with an assert (gone under
+        # ``python -O``); empty subspaces must raise the library's own
+        # error for both Q1 and Q2.
+        for projection in ("AVG(u)", "REGRESSION(u)"):
+            with pytest.raises(EmptySubspaceError):
+                session.execute(
+                    f"SELECT {projection} FROM sensors WITHIN 0.001 OF (7.0, 7.0)"
+                )
+        assert (
+            session.execute("SELECT COUNT(*) FROM sensors WITHIN 0.001 OF (7.0, 7.0)")
+            == 0
+        )
+
+    def test_approximate_mode_uses_model_geometry(self):
+        # Seed bug: ParsedStatement.to_query hard-coded the Euclidean norm,
+        # so a model trained under L1 geometry was queried with L2 balls.
+        rng = np.random.default_rng(5)
+        inputs = rng.uniform(0, 1, size=(2_000, 2))
+        outputs = inputs[:, 0] + inputs[:, 1]
+        dataset = SyntheticDataset(
+            inputs=inputs, outputs=outputs, name="sensors", domain=(0.0, 1.0)
+        )
+        engine = ExactQueryEngine(dataset)
+        spec = WorkloadSpec(
+            dimension=2,
+            radius=RadiusDistribution(mean=0.15, std=0.03),
+            norm_order=1.0,
+        )
+        queries = QueryWorkloadGenerator(spec, seed=2).generate(200)
+        workload = LabelledWorkload.from_queries(queries, engine.mean_value)
+        model = LLMModel(
+            dimension=2,
+            config=ModelConfig(quantization_coefficient=0.1, norm_order=1.0),
+        )
+        model.fit(workload)
+        session = AnalyticsSession(engines={"sensors": engine}, models={"sensors": model})
+        predicted = session.execute(
+            "SELECT AVG(u) FROM sensors WITHIN 0.15 OF (0.4, 0.6)",
+            mode="approximate",
+        )
+        l1_query = Query(center=np.array([0.4, 0.6]), radius=0.15, norm_order=1.0)
+        assert predicted == pytest.approx(model.predict_mean(l1_query), abs=1e-12)

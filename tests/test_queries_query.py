@@ -110,6 +110,25 @@ class TestQueryAnswer:
             answer.coefficients[0] = 5.0
 
 
+class TestWithNormOrder:
+    def test_returns_self_when_order_matches(self):
+        query = Query(center=np.array([0.2, 0.3]), radius=0.1, norm_order=2.0)
+        assert query.with_norm_order(2.0) is query
+
+    def test_renorms_immutably(self):
+        query = Query(center=np.array([0.2, 0.3]), radius=0.1)
+        renormed = query.with_norm_order(float("inf"))
+        assert renormed.norm_order == float("inf")
+        assert renormed.radius == query.radius
+        assert np.array_equal(renormed.center, query.center)
+        assert query.norm_order == 2.0
+
+    def test_rejects_invalid_order(self):
+        query = Query(center=np.array([0.2]), radius=0.1)
+        with pytest.raises(InvalidQueryError):
+            query.with_norm_order(0.5)
+
+
 class TestQueryResultPair:
     def test_valid_pair(self):
         pair = QueryResultPair(Query(center=np.array([0.0]), radius=0.1), answer=1.5)
