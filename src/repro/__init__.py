@@ -87,15 +87,21 @@ single queries, sublinear in the number of prototypes ``K``:
 from .config import ModelConfig, TrainingConfig, vigilance_radius
 from .exceptions import (
     CatalogError,
+    CircuitOpenError,
     ConfigurationError,
     ConvergenceError,
     DimensionalityMismatchError,
     EmptySubspaceError,
+    InjectedFaultError,
     InvalidQueryError,
+    LifecycleError,
+    ModelPersistenceError,
     NotFittedError,
     ReproError,
+    ServingTimeoutError,
     SQLSyntaxError,
     StorageError,
+    TransientEngineError,
     WorkloadError,
 )
 from .queries import (
@@ -103,6 +109,7 @@ from .queries import (
     Query,
     QueryAnswer,
     QueryAnswerStream,
+    QueryLog,
     QueryResultPair,
     QueryWorkloadGenerator,
     RadiusDistribution,
@@ -111,6 +118,7 @@ from .queries import (
     split_workload,
 )
 from .data import (
+    DriftingFunction,
     MinMaxScaler,
     SyntheticDataset,
     generate_gas_sensor_dataset,
@@ -122,9 +130,17 @@ from .data import (
 from .dbms import (
     AnalyticsService,
     AnalyticsSession,
+    CircuitBreaker,
+    DegradationPolicy,
+    DriftPolicy,
     ExactQueryEngine,
     GridIndex,
+    LifecycleEvent,
+    ModelManager,
+    ModelVersionStore,
+    ObserverHub,
     PrototypeIndex,
+    RecordingObserver,
     ServingStatistics,
     ShardedQueryEngine,
     SQLiteDataStore,
@@ -171,6 +187,12 @@ __all__ = [
     "ConfigurationError",
     "ConvergenceError",
     "WorkloadError",
+    "ModelPersistenceError",
+    "TransientEngineError",
+    "ServingTimeoutError",
+    "CircuitOpenError",
+    "LifecycleError",
+    "InjectedFaultError",
     # queries
     "Query",
     "QueryAnswer",
@@ -182,8 +204,10 @@ __all__ = [
     "split_workload",
     "QueryAnswerStream",
     "LabelledWorkload",
+    "QueryLog",
     # data
     "SyntheticDataset",
+    "DriftingFunction",
     "make_rosenbrock_dataset",
     "make_function_dataset",
     "generate_gas_sensor_dataset",
@@ -199,6 +223,14 @@ __all__ = [
     "AnalyticsSession",
     "AnalyticsService",
     "ServingStatistics",
+    "DegradationPolicy",
+    "CircuitBreaker",
+    "ObserverHub",
+    "LifecycleEvent",
+    "RecordingObserver",
+    "ModelManager",
+    "DriftPolicy",
+    "ModelVersionStore",
     "parse_script",
     "parse_statement",
     # core

@@ -9,10 +9,11 @@ to rebuild an equivalent :class:`~repro.core.model.LLMModel`.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from ..config import ModelConfig, TrainingConfig
-from ..exceptions import NotFittedError, ReproError
+from ..exceptions import ModelPersistenceError, NotFittedError
 from .model import LLMModel
 from .prototypes import LocalLinearMap
 
@@ -64,9 +65,10 @@ def model_from_dict(payload: dict) -> LLMModel:
     """Rebuild a model from :func:`model_to_dict` output."""
     version = payload.get("format_version")
     if version not in READABLE_VERSIONS:
-        raise ReproError(
+        raise ModelPersistenceError(
             f"unsupported model format version {version!r} "
-            f"(readable: {sorted(READABLE_VERSIONS)})"
+            f"(readable: {sorted(READABLE_VERSIONS)})",
+            format_version=version,
         )
     config_payload = payload.get("config", {})
     training_payload = payload.get("training", {})
@@ -101,19 +103,69 @@ def model_from_dict(payload: dict) -> LLMModel:
 
 
 def save_model(model: LLMModel, path: str | Path) -> Path:
-    """Write a trained model to a JSON file and return the path."""
+    """Write a trained model to a JSON file and return the path.
+
+    The write is *atomic*: the payload goes to a same-directory temporary
+    file that is ``os.replace``-d onto the target, so a crash mid-write
+    never leaves a truncated model file where a readable one (old or new)
+    is expected — the invariant the hot-swap/rollback lifecycle relies on.
+    """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    with target.open("w", encoding="utf-8") as handle:
-        json.dump(model_to_dict(model), handle, indent=2)
+    staging = target.with_name(target.name + ".tmp")
+    try:
+        with staging.open("w", encoding="utf-8") as handle:
+            json.dump(model_to_dict(model), handle, indent=2)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(staging, target)
+    finally:
+        if staging.exists():  # a failed dump leaves no stray staging file
+            staging.unlink()
     return target
 
 
 def load_model(path: str | Path) -> LLMModel:
-    """Load a trained model from a JSON file produced by :func:`save_model`."""
+    """Load a trained model from a JSON file produced by :func:`save_model`.
+
+    Raises
+    ------
+    ModelPersistenceError
+        For a missing file, a truncated or otherwise unparseable payload,
+        a payload with missing/malformed fields, or an unsupported format
+        version — always carrying the offending ``path`` (and the payload's
+        ``format_version`` when it could be read) so callers can report and
+        quarantine the file without touching their registries.
+    """
     source = Path(path)
     if not source.exists():
-        raise ReproError(f"model file does not exist: {source}")
-    with source.open("r", encoding="utf-8") as handle:
-        payload = json.load(handle)
-    return model_from_dict(payload)
+        raise ModelPersistenceError(
+            f"model file does not exist: {source}", path=source
+        )
+    try:
+        with source.open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+        raise ModelPersistenceError(
+            f"model file {source} is truncated or corrupt: {exc}", path=source
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ModelPersistenceError(
+            f"model file {source} does not hold a model payload "
+            f"(top-level {type(payload).__name__}, expected object)",
+            path=source,
+        )
+    version = payload.get("format_version")
+    try:
+        return model_from_dict(payload)
+    except ModelPersistenceError as exc:
+        if exc.path is None:
+            exc.path = source
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ModelPersistenceError(
+            f"model file {source} (format version {version!r}) is missing or "
+            f"has malformed fields: {exc!r}",
+            path=source,
+            format_version=version,
+        ) from exc

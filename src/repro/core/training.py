@@ -33,7 +33,7 @@ from typing import Iterable, Iterator
 
 from ..dbms.executor import ExactQueryEngine
 from ..dbms.sharding import ShardedQueryEngine
-from ..exceptions import ConfigurationError, EmptySubspaceError
+from ..exceptions import ConfigurationError, EmptySubspaceError, TransientEngineError
 from ..queries.query import Query, QueryAnswer, QueryResultPair
 from .model import LLMModel
 from .sgd import CHUNK_MODES
@@ -120,6 +120,16 @@ class StreamingTrainer:
         empty query is *consumed*, i.e. after the pairs preceding it in
         the stream have updated the model — the same model state the
         sequential loop would leave behind.
+    max_engine_retries:
+        Retries of a chunk whose engine call raised a
+        :class:`~repro.exceptions.TransientEngineError` (flaky storage, a
+        shard worker hiccup, an injected fault).  ``0`` (default)
+        preserves the fail-fast behaviour; the lifecycle manager trains
+        with a small retry budget so a single transient blip does not
+        abort a whole retraining run.  Deterministic errors never retry.
+    retry_backoff_seconds:
+        Sleep before retry ``k`` of a chunk is ``retry_backoff_seconds *
+        2**(k - 1)``.
     """
 
     def __init__(
@@ -128,10 +138,22 @@ class StreamingTrainer:
         engine: ExactEngine,
         *,
         skip_empty_subspaces: bool = True,
+        max_engine_retries: int = 0,
+        retry_backoff_seconds: float = 0.05,
     ) -> None:
+        if max_engine_retries < 0:
+            raise ValueError(
+                f"max_engine_retries must be >= 0, got {max_engine_retries}"
+            )
+        if retry_backoff_seconds < 0.0:
+            raise ValueError(
+                f"retry_backoff_seconds must be >= 0, got {retry_backoff_seconds}"
+            )
         self.model = model
         self.engine = engine
         self.skip_empty_subspaces = bool(skip_empty_subspaces)
+        self.max_engine_retries = int(max_engine_retries)
+        self.retry_backoff_seconds = float(retry_backoff_seconds)
 
     # ------------------------------------------------------------------ #
     # engine selection / chunk execution (shared by train and label_queries)
@@ -156,8 +178,8 @@ class StreamingTrainer:
             )
         return engine, None
 
-    @staticmethod
     def _execute_chunk(
+        self,
         engine: ExactEngine,
         chunk: list[Query],
         forced_route: str | None,
@@ -166,16 +188,32 @@ class StreamingTrainer:
 
         Empty subspaces come back as ``None`` slots (the consumer decides
         whether to skip or raise); a forced route is passed as a
-        call-scoped override, so no engine state is mutated.
+        call-scoped override, so no engine state is mutated.  Transient
+        engine failures are retried up to ``max_engine_retries`` times
+        with exponential backoff (the whole loop is timed: a retried chunk
+        really did cost that much engine time); any other exception, or a
+        transient one past the retry budget, propagates.
         """
         started = time.perf_counter()
-        if forced_route is not None and isinstance(engine, ShardedQueryEngine):
-            answers = engine.execute_q1_batch(
-                chunk, on_empty="null", route=forced_route
-            )
-        else:
-            answers = engine.execute_q1_batch(chunk, on_empty="null")
-        return answers, time.perf_counter() - started
+        attempt = 0
+        delay = self.retry_backoff_seconds
+        while True:
+            try:
+                if forced_route is not None and isinstance(engine, ShardedQueryEngine):
+                    answers = engine.execute_q1_batch(
+                        chunk, on_empty="null", route=forced_route
+                    )
+                else:
+                    answers = engine.execute_q1_batch(chunk, on_empty="null")
+            except TransientEngineError:
+                if attempt >= self.max_engine_retries:
+                    raise
+                attempt += 1
+                if delay > 0.0:
+                    time.sleep(delay)
+                delay *= 2.0
+            else:
+                return answers, time.perf_counter() - started
 
     # ------------------------------------------------------------------ #
     # training

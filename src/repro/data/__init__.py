@@ -11,6 +11,7 @@ functions used in the paper's running examples.
 
 from .functions import (
     DataFunction,
+    DriftingFunction,
     PiecewiseNonLinear1D,
     ProductSaddle,
     Rosenbrock,
@@ -28,6 +29,7 @@ __all__ = [
     "ProductSaddle",
     "SineRidge",
     "PiecewiseNonLinear1D",
+    "DriftingFunction",
     "get_data_function",
     "list_data_functions",
     "SyntheticDataset",

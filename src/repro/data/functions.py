@@ -29,6 +29,7 @@ __all__ = [
     "ProductSaddle",
     "SineRidge",
     "PiecewiseNonLinear1D",
+    "DriftingFunction",
     "get_data_function",
     "list_data_functions",
 ]
@@ -190,6 +191,51 @@ class PiecewiseNonLinear1D(DataFunction):
         bump_two = 0.35 * np.exp(-((x - 0.7) ** 2) / 0.02)
         dip = -0.25 * np.exp(-((x - 0.5) ** 2) / 0.004)
         return trend + bump_one + bump_two + dip + 0.2
+
+
+class DriftingFunction(DataFunction):
+    """A base data function whose surface translates over logical time.
+
+    ``g_t(x) = base(x - velocity * t)``: advancing the clock slides the
+    whole response surface along ``velocity``, so rows generated after a
+    drift step obey a *different* input→output relation than the rows a
+    model was trained on — the concept-drift scenario the model lifecycle
+    manager must detect and retrain through.  Time is explicit
+    (:meth:`advance` / :attr:`time`), keeping every evaluation
+    deterministic and replayable.
+    """
+
+    name = "drifting"
+
+    def __init__(
+        self, base: DataFunction, velocity: "np.ndarray | float | None" = None
+    ) -> None:
+        super().__init__(base.dimension)
+        self.base = base
+        if velocity is None:
+            velocity = np.full(base.dimension, 0.1)
+        velocity = np.broadcast_to(
+            np.asarray(velocity, dtype=float).ravel(), (base.dimension,)
+        ).copy()
+        self.velocity = velocity
+        self._time = 0.0
+
+    @property
+    def time(self) -> float:
+        """The current logical drift time."""
+        return self._time
+
+    def advance(self, delta: float) -> float:
+        """Advance the drift clock; returns the new time."""
+        self._time += float(delta)
+        return self._time
+
+    @property
+    def domain(self) -> tuple[float, float]:
+        return self.base.domain
+
+    def _evaluate(self, points: np.ndarray) -> np.ndarray:
+        return self.base(points - self.velocity * self._time)
 
 
 _REGISTRY: Mapping[str, type[DataFunction]] = {

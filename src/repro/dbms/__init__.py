@@ -28,7 +28,14 @@ during the training phase.  This subpackage provides that substrate:
   batched multi-statement execution through the engines' and models' batch
   paths, and a hybrid mode answering from the trained model with a
   transparent exact fallback on empty ``W(q)`` (fallback rate reported via
-  :class:`~repro.dbms.serving.ServingStatistics`).
+  :class:`~repro.dbms.serving.ServingStatistics`), guarded by per-tier
+  circuit breakers, bounded retries and per-statement error answers,
+* :class:`~repro.dbms.lifecycle.ModelManager` — the self-healing model
+  lifecycle: sliding-window drift detection over the serving statistics,
+  incremental retraining on the recorded recent query stream, versioned
+  persistence (:class:`~repro.dbms.lifecycle.ModelVersionStore`), atomic
+  hot-swap under concurrent serving, and probe-gated automatic rollback,
+  with events published through :class:`~repro.dbms.observer.ObserverHub`.
 """
 
 from .schema import ColumnSpec, TableSchema, schema_for_dataset
@@ -44,7 +51,21 @@ from .spatial_index import (
 from .executor import ExactQueryEngine, ExecutionStatistics, SegmentedBatchPipeline
 from .sharding import ShardedQueryEngine, shard_bounds
 from .sqlfront import AnalyticsSession, ParsedStatement, parse_script, parse_statement
-from .serving import AnalyticsService, ServingStatistics, StatementResult
+from .serving import (
+    AnalyticsService,
+    CircuitBreaker,
+    DegradationPolicy,
+    ServingStatistics,
+    StatementResult,
+)
+from .observer import (
+    LifecycleEvent,
+    LifecycleObserver,
+    LoggingObserver,
+    ObserverHub,
+    RecordingObserver,
+)
+from .lifecycle import DriftPolicy, ModelManager, ModelVersionStore
 
 __all__ = [
     "ColumnSpec",
@@ -67,6 +88,16 @@ __all__ = [
     "AnalyticsService",
     "ServingStatistics",
     "StatementResult",
+    "DegradationPolicy",
+    "CircuitBreaker",
+    "LifecycleEvent",
+    "LifecycleObserver",
+    "LoggingObserver",
+    "ObserverHub",
+    "RecordingObserver",
+    "DriftPolicy",
+    "ModelManager",
+    "ModelVersionStore",
     "ParsedStatement",
     "parse_script",
     "parse_statement",

@@ -24,6 +24,27 @@ Three execution modes are offered:
   COUNT statements always go to the exact engine.  The observed fallback
   rate is reported through :class:`ServingStatistics`.
 
+Resilience (the serving tier survives its dependencies failing)
+---------------------------------------------------------------
+Statement groups execute through a guarded path: transient tier failures
+(:class:`~repro.exceptions.TransientEngineError`, including per-group
+timeouts) are retried with exponential backoff up to
+:attr:`DegradationPolicy.max_attempts`; repeated failures open a
+per-``(table, tier)`` :class:`CircuitBreaker` that sheds the failing tier
+— a hybrid group keeps serving from the surviving tier (model-only when
+the exact engine is down, exact-only when the model is down, marked
+``degraded``) — and a group whose every tier failed produces
+*per-statement error answers* (``source="error"``, the exception attached)
+instead of aborting the script.  Registry/configuration mistakes
+(:class:`~repro.exceptions.SQLSyntaxError`,
+:class:`~repro.exceptions.ConfigurationError`) still raise: they are
+caller bugs, not runtime faults.  Model hot-swaps
+(:meth:`AnalyticsService.swap_model`) are atomic under concurrent
+serving: a group captures one model reference, so it never observes a
+half-registered model.  Lifecycle events (retries, breaker transitions,
+degradations, swaps) are published to an
+:class:`~repro.dbms.observer.ObserverHub`.
+
 Serving statistics mirror the engines'
 :class:`~repro.dbms.executor.ExecutionStatistics` idiom: O(1) running
 aggregates per table (statement counts by answer source, wall-clock
@@ -33,15 +54,27 @@ totals and extrema), mergeable into a service-wide view.
 from __future__ import annotations
 
 import math
+import threading
 import time
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Literal, Mapping, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Literal, Mapping, Sequence
 
 import numpy as np
 
-from ..exceptions import ConfigurationError, EmptySubspaceError, SQLSyntaxError
+from ..exceptions import (
+    CircuitOpenError,
+    ConfigurationError,
+    EmptySubspaceError,
+    ServingTimeoutError,
+    SQLSyntaxError,
+    TransientEngineError,
+)
 from ..queries.query import Query
+from ..queries.stream import QueryLog
 from .executor import ExactQueryEngine
+from .observer import ObserverHub
 from .sqlfront import ParsedStatement, parse_script, parse_statement
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -52,6 +85,8 @@ __all__ = [
     "AnalyticsService",
     "ServingStatistics",
     "StatementResult",
+    "DegradationPolicy",
+    "CircuitBreaker",
     "DEFAULT_NORM_ORDER",
 ]
 
@@ -60,6 +95,135 @@ DEFAULT_NORM_ORDER = 2.0
 
 _MODES = ("exact", "model", "hybrid")
 _ROUTES = (None, "scan", "indexed", "auto")
+_ON_ERROR = ("attach", "raise")
+
+#: Errors that signal caller/configuration mistakes rather than runtime
+#: faults: they abort the script (the seed contract) and never trip a
+#: circuit breaker.
+_CALLER_ERRORS = (SQLSyntaxError, ConfigurationError)
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Retry / timeout / circuit-breaker policy of the guarded serving path.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries per tier call for *transient* failures
+        (:class:`~repro.exceptions.TransientEngineError`, which includes
+        per-group timeouts).  Non-transient exceptions never retry.
+    backoff_seconds / backoff_multiplier:
+        Sleep before retry ``k`` is ``backoff_seconds *
+        backoff_multiplier**(k - 1)``.
+    timeout_seconds:
+        Per-group execution timeout; ``None`` (default) disables the
+        timeout thread dispatch entirely, keeping the hot path free of
+        thread overhead.  A timed-out call keeps running on its worker
+        thread (Python cannot kill it) but the group is answered — by a
+        retry, a degraded tier, or an error answer.
+    breaker_failure_threshold:
+        Consecutive failures after which a ``(table, tier)`` breaker
+        opens.
+    breaker_reset_seconds:
+        Open time before the breaker half-opens and lets a probe call
+        through; a successful probe closes it, a failing probe re-opens
+        it.
+    """
+
+    max_attempts: int = 3
+    backoff_seconds: float = 0.02
+    backoff_multiplier: float = 2.0
+    timeout_seconds: float | None = None
+    breaker_failure_threshold: int = 3
+    breaker_reset_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_seconds < 0.0 or self.backoff_multiplier < 1.0:
+            raise ConfigurationError(
+                "backoff_seconds must be >= 0 and backoff_multiplier >= 1"
+            )
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0.0:
+            raise ConfigurationError(
+                f"timeout_seconds must be positive or None, got "
+                f"{self.timeout_seconds}"
+            )
+        if self.breaker_failure_threshold < 1 or self.breaker_reset_seconds < 0.0:
+            raise ConfigurationError(
+                "breaker_failure_threshold must be >= 1 and "
+                "breaker_reset_seconds >= 0"
+            )
+
+
+class CircuitBreaker:
+    """A minimal three-state circuit breaker (closed / open / half-open).
+
+    ``closed`` passes calls and counts consecutive failures; at
+    ``failure_threshold`` it opens.  ``open`` rejects calls until
+    ``reset_seconds`` elapse, then half-opens.  ``half_open`` passes calls
+    as probes: one success closes the breaker, one failure re-opens it.
+    The clock is injectable so tests drive the state machine
+    deterministically.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int,
+        reset_seconds: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._threshold = int(failure_threshold)
+        self._reset_seconds = float(reset_seconds)
+        self._clock = clock
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._peek_state()
+
+    def _peek_state(self) -> str:
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self._reset_seconds
+        ):
+            return self.HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a call may proceed now (open → half-open on reset lapse)."""
+        with self._lock:
+            state = self._peek_state()
+            if state == self.OPEN:
+                return False
+            self._state = state
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = self.CLOSED
+            self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if (
+                self._state == self.HALF_OPEN
+                or self._consecutive_failures >= self._threshold
+            ):
+                self._state = self.OPEN
+                self._opened_at = self._clock()
 
 
 @dataclass
@@ -69,9 +233,13 @@ class ServingStatistics:
     Mirrors :class:`~repro.dbms.executor.ExecutionStatistics`: only O(1)
     running aggregates are kept, so recording a statement stream of any
     length costs constant memory.  ``model_answered`` / ``exact_answered``
-    / ``fallback_count`` partition the executed statements by answer
-    source (a fallback is a hybrid statement the model could not cover, so
-    it was re-routed to the exact engine).
+    / ``fallback_count`` / ``error_count`` partition the executed
+    statements by answer source (a fallback is a hybrid statement the
+    model could not cover, so it was re-routed to the exact engine; an
+    error is a statement whose every tier failed, answered with the
+    exception attached).  ``degraded_count`` counts statements served by a
+    surviving tier after their preferred tier failed, and ``retry_count``
+    counts transient-failure retries spent serving the stream.
     """
 
     statements_executed: int = 0
@@ -80,6 +248,9 @@ class ServingStatistics:
     exact_answered: int = 0
     fallback_count: int = 0
     empty_count: int = 0
+    error_count: int = 0
+    degraded_count: int = 0
+    retry_count: int = 0
     total_seconds: float = 0.0
     min_statement_seconds: float = math.inf
     max_statement_seconds: float = 0.0
@@ -92,6 +263,9 @@ class ServingStatistics:
         exact_answered: int = 0,
         fallbacks: int = 0,
         empties: int = 0,
+        errors: int = 0,
+        degraded: int = 0,
+        retries: int = 0,
         seconds: float = 0.0,
     ) -> None:
         """Add one statement group's counters.
@@ -108,6 +282,9 @@ class ServingStatistics:
         self.exact_answered += exact_answered
         self.fallback_count += fallbacks
         self.empty_count += empties
+        self.error_count += errors
+        self.degraded_count += degraded
+        self.retry_count += retries
         self.total_seconds += seconds
         self.min_statement_seconds = min(self.min_statement_seconds, amortised)
         self.max_statement_seconds = max(self.max_statement_seconds, amortised)
@@ -118,6 +295,13 @@ class ServingStatistics:
         if self.statements_executed == 0:
             return 0.0
         return self.fallback_count / self.statements_executed
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of executed statements answered with an attached error."""
+        if self.statements_executed == 0:
+            return 0.0
+        return self.error_count / self.statements_executed
 
     @property
     def mean_seconds(self) -> float:
@@ -146,6 +330,9 @@ class ServingStatistics:
         self.exact_answered += other.exact_answered
         self.fallback_count += other.fallback_count
         self.empty_count += other.empty_count
+        self.error_count += other.error_count
+        self.degraded_count += other.degraded_count
+        self.retry_count += other.retry_count
         self.total_seconds += other.total_seconds
         self.min_statement_seconds = min(
             self.min_statement_seconds, other.min_statement_seconds
@@ -153,6 +340,10 @@ class ServingStatistics:
         self.max_statement_seconds = max(
             self.max_statement_seconds, other.max_statement_seconds
         )
+
+    def snapshot(self) -> "ServingStatistics":
+        """A point-in-time copy (drift windows diff successive snapshots)."""
+        return replace(self)
 
     def reset(self) -> None:
         """Clear all counters."""
@@ -162,6 +353,9 @@ class ServingStatistics:
         self.exact_answered = 0
         self.fallback_count = 0
         self.empty_count = 0
+        self.error_count = 0
+        self.degraded_count = 0
+        self.retry_count = 0
         self.total_seconds = 0.0
         self.min_statement_seconds = math.inf
         self.max_statement_seconds = 0.0
@@ -186,19 +380,35 @@ class StatementResult:
     source:
         ``"model"`` (answered from the trained model), ``"exact"``
         (answered by the exact engine because the mode asked for it, the
-        statement was a COUNT, or the table has no model), or
-        ``"fallback"`` (hybrid statement the model had no coverage for,
-        re-routed to the exact engine).
+        statement was a COUNT, or the table has no model), ``"fallback"``
+        (hybrid statement the model had no coverage for, re-routed to the
+        exact engine), or ``"error"`` (every tier failed — the exception
+        is attached as :attr:`error` and ``value`` is ``None``).
     empty:
         ``True`` when an exact execution selected no rows, leaving a
         Q1/Q2 ``value`` of ``None`` (the documented empty answer of the
         batched ``on_empty="null"`` contract).
+    degraded:
+        ``True`` when the statement was answered by a surviving tier
+        after its preferred tier failed or was shed by a circuit breaker
+        (hybrid groups only) — the answer is real, but produced under
+        degradation.
+    error:
+        The exception that exhausted the statement's tiers (``None`` for
+        successful answers).
     """
 
     statement: ParsedStatement
     value: float | int | list | None
-    source: Literal["model", "exact", "fallback"]
+    source: Literal["model", "exact", "fallback", "error"]
     empty: bool = False
+    degraded: bool = False
+    error: BaseException | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the statement produced an answer (no attached error)."""
+        return self.error is None
 
     @property
     def kind(self) -> str:
@@ -228,6 +438,20 @@ class AnalyticsService:
         Optional routing policy (``"scan"``, ``"indexed"`` or ``"auto"``)
         forwarded call-scoped to engines that advertise
         ``supports_route`` (the sharded engine); single engines ignore it.
+    degradation:
+        The :class:`DegradationPolicy` of the guarded execution path
+        (retries, timeouts, circuit breakers); defaults are retry-3 with
+        20 ms backoff, no timeout, breaker at 3 consecutive failures.
+    observers:
+        An :class:`~repro.dbms.observer.ObserverHub` to publish lifecycle
+        events into; a private hub is created when omitted.
+    query_log_size:
+        Capacity of the per-table :class:`~repro.queries.stream.QueryLog`
+        recording recent statement queries (the lifecycle manager's
+        retraining stream).  ``0`` disables recording.
+    clock:
+        Monotonic clock used by the circuit breakers (injectable for
+        deterministic tests).
     """
 
     def __init__(
@@ -236,30 +460,84 @@ class AnalyticsService:
         models: Mapping[str, object] | None = None,
         *,
         route: str | None = None,
+        degradation: DegradationPolicy | None = None,
+        observers: ObserverHub | None = None,
+        query_log_size: int = 512,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if route not in _ROUTES:
             raise ConfigurationError(
                 f"route must be one of {_ROUTES[1:]} or None, got {route!r}"
             )
+        if query_log_size < 0:
+            raise ConfigurationError(
+                f"query_log_size must be >= 0, got {query_log_size}"
+            )
         self._engines: dict[str, object] = dict(engines or {})
         self._models: dict[str, object] = dict(models or {})
+        self._model_versions: dict[str, object] = {}
         self._route = route
+        self._policy = degradation or DegradationPolicy()
+        self._hub = observers or ObserverHub()
+        self._clock = clock
+        self._query_log_size = int(query_log_size)
+        self._query_logs: dict[str, QueryLog] = {}
         self._statistics: dict[str, ServingStatistics] = {}
+        self._breakers: dict[tuple[str, str], CircuitBreaker] = {}
+        self._registry_lock = threading.RLock()
+        self._stats_lock = threading.Lock()
+        self._timeout_pool: ThreadPoolExecutor | None = None
 
     # ------------------------------------------------------------------ #
     # registry / model lifecycle
     # ------------------------------------------------------------------ #
     def register_engine(self, table: str, engine: object) -> None:
         """Attach an exact engine under a table name."""
-        self._engines[table] = engine
+        with self._registry_lock:
+            self._engines[table] = engine
 
     def register_model(self, table: str, model: object) -> None:
-        """Attach a trained model under a table name."""
-        self._models[table] = model
+        """Attach a trained model under a table name (unversioned swap)."""
+        self.swap_model(table, model)
+
+    def swap_model(
+        self, table: str, model: object, *, version: object = None
+    ) -> object | None:
+        """Atomically replace the model serving ``table``; returns the old one.
+
+        The swap is one reference assignment under the registry lock, and
+        statement groups capture their model reference once at group
+        start, so concurrent scripts observe either the old model or the
+        new one — never a half-registered state.  ``version`` is an opaque
+        version marker (the lifecycle manager passes the persisted version
+        number) readable back via :meth:`model_version_for`.
+        """
+        with self._registry_lock:
+            previous = self._models.get(table)
+            self._models[table] = model
+            self._model_versions[table] = version
+        self._hub.publish(
+            "model.swapped",
+            table,
+            version=version,
+            had_previous=previous is not None,
+        )
+        return previous
+
+    def model_version_for(self, table: str) -> object:
+        """The version marker of the serving model (``None`` if unversioned)."""
+        with self._registry_lock:
+            return self._model_versions.get(table)
 
     def register_model_from_file(self, table: str, path: object) -> object:
         """Load a persisted model (:func:`~repro.core.persistence.load_model`)
-        and register it under ``table``; returns the loaded model."""
+        and register it under ``table``; returns the loaded model.
+
+        A truncated/corrupt/unreadable file raises
+        :class:`~repro.exceptions.ModelPersistenceError` *before* the
+        registry is touched: a failed load never unregisters or replaces
+        the model currently serving the table.
+        """
         from ..core.persistence import load_model
 
         model = load_model(path)  # type: ignore[arg-type]
@@ -286,12 +564,23 @@ class AnalyticsService:
     @property
     def tables(self) -> list[str]:
         """All table names known to the service."""
-        return sorted(set(self._engines) | set(self._models))
+        with self._registry_lock:
+            return sorted(set(self._engines) | set(self._models))
 
     @property
     def route(self) -> str | None:
         """The routing policy forwarded to route-aware engines."""
         return self._route
+
+    @property
+    def degradation(self) -> DegradationPolicy:
+        """The guarded execution policy in force."""
+        return self._policy
+
+    @property
+    def observers(self) -> ObserverHub:
+        """The hub lifecycle events are published to."""
+        return self._hub
 
     def engine_for(self, table: str) -> object:
         """The exact engine of a table (raises when none is registered)."""
@@ -311,31 +600,75 @@ class AnalyticsService:
                 f"no trained model registered for table {table!r}"
             ) from exc
 
+    def close(self) -> None:
+        """Release the timeout worker pool (if one was ever started)."""
+        if self._timeout_pool is not None:
+            self._timeout_pool.shutdown(wait=False, cancel_futures=True)
+            self._timeout_pool = None
+
     # ------------------------------------------------------------------ #
-    # statistics
+    # query log (recent traffic per table)
+    # ------------------------------------------------------------------ #
+    def query_log_for(self, table: str) -> QueryLog:
+        """The per-table recent-query log (created on first access)."""
+        with self._stats_lock:
+            if table not in self._query_logs:
+                self._query_logs[table] = QueryLog(max(self._query_log_size, 1))
+            return self._query_logs[table]
+
+    def recent_queries(self, table: str) -> list[Query]:
+        """A snapshot of the recently served queries of a table (oldest first)."""
+        if self._query_log_size == 0 or table not in self._query_logs:
+            return []
+        return self.query_log_for(table).snapshot()
+
+    # ------------------------------------------------------------------ #
+    # statistics / breakers
     # ------------------------------------------------------------------ #
     def statistics_for(self, table: str) -> ServingStatistics:
         """The per-table serving statistics (created on first access)."""
-        if table not in self._statistics:
-            self._statistics[table] = ServingStatistics()
-        return self._statistics[table]
+        with self._stats_lock:
+            if table not in self._statistics:
+                self._statistics[table] = ServingStatistics()
+            return self._statistics[table]
 
     @property
     def per_table_statistics(self) -> Mapping[str, ServingStatistics]:
         """Read-only view of the per-table statistics recorded so far."""
-        return dict(self._statistics)
+        with self._stats_lock:
+            return dict(self._statistics)
 
     @property
     def statistics(self) -> ServingStatistics:
         """Service-wide aggregate of every table's serving statistics."""
         total = ServingStatistics()
-        for stats in self._statistics.values():
+        for stats in self.per_table_statistics.values():
             total.merge(stats)
         return total
 
     def reset_statistics(self) -> None:
         """Clear the serving statistics of every table."""
-        self._statistics.clear()
+        with self._stats_lock:
+            self._statistics.clear()
+
+    def _breaker(self, table: str, tier: str) -> CircuitBreaker:
+        key = (table, tier)
+        with self._stats_lock:
+            if key not in self._breakers:
+                self._breakers[key] = CircuitBreaker(
+                    self._policy.breaker_failure_threshold,
+                    self._policy.breaker_reset_seconds,
+                    self._clock,
+                )
+            return self._breakers[key]
+
+    def breaker_state(self, table: str, tier: str) -> str:
+        """The circuit-breaker state of a ``(table, tier)`` pair.
+
+        ``tier`` is ``"exact"`` or ``"model"``; the state is one of
+        ``"closed"``, ``"open"``, ``"half_open"``.
+        """
+        return self._breaker(table, tier).state
 
     # ------------------------------------------------------------------ #
     # norm resolution (per-table geometry)
@@ -369,11 +702,17 @@ class AnalyticsService:
             When the exact subspace of a Q1/Q2 statement is empty (its
             answer is undefined) — the clean, always-on replacement for
             the seed front end's ``assert`` on the Q2 coefficients.
+        Exception
+            The original tier failure, when every tier of the statement's
+            group failed (the script path attaches the same exception to
+            the result instead of raising).
         """
         statement = (
             sql if isinstance(sql, ParsedStatement) else parse_statement(sql)
         )
         result = self.execute_script([statement], mode=mode)[0]
+        if result.error is not None:
+            raise result.error
         if result.empty and result.kind != "count":
             raise EmptySubspaceError(
                 f"statement over table {result.table!r} selected no rows; its "
@@ -386,6 +725,7 @@ class AnalyticsService:
         script: str | Sequence[str | ParsedStatement],
         *,
         mode: str = "hybrid",
+        on_error: str = "attach",
     ) -> list[StatementResult]:
         """Serve a multi-statement script through the batched fast paths.
 
@@ -400,10 +740,26 @@ class AnalyticsService:
         statement order; empty exact subspaces follow the documented
         ``on_empty="null"`` contract (``value=None``, ``empty=True``)
         instead of raising mid-script.
+
+        Fault containment: a runtime failure of one ``(table, kind)``
+        group — an engine exception, a model exception, a timeout, an
+        open circuit breaker with no surviving tier — is caught *per
+        group*: with ``on_error="attach"`` (default) the affected
+        statements come back as ``source="error"`` results carrying the
+        exception, and every other group keeps serving; with
+        ``on_error="raise"`` the first group failure propagates.  Parse
+        and registry/configuration errors
+        (:class:`~repro.exceptions.SQLSyntaxError`,
+        :class:`~repro.exceptions.ConfigurationError`) always raise —
+        they are caller bugs, not runtime faults.
         """
         if mode not in _MODES:
             raise SQLSyntaxError(
                 f"unknown execution mode {mode!r} (expected one of {_MODES})"
+            )
+        if on_error not in _ON_ERROR:
+            raise ConfigurationError(
+                f"on_error must be one of {_ON_ERROR}, got {on_error!r}"
             )
         statements = self._parse_input(script)
         results: list[StatementResult | None] = [None] * len(statements)
@@ -413,19 +769,43 @@ class AnalyticsService:
         for (table, kind), positions in groups.items():
             group_statements = [statements[i] for i in positions]
             queries = [self._statement_query(s) for s in group_statements]
+            if self._query_log_size > 0:
+                self.query_log_for(table).record_many(queries)
+            counters = {"retries": 0}
             start = time.perf_counter()
-            group_results = self._execute_group(
-                table, kind, group_statements, queries, mode
-            )
+            try:
+                group_results = self._execute_group(
+                    table, kind, group_statements, queries, mode, counters
+                )
+            except _CALLER_ERRORS:
+                raise
+            except Exception as exc:
+                if on_error == "raise":
+                    raise
+                self._hub.publish(
+                    "group.error", table, statement_kind=kind, error=repr(exc),
+                    statements=len(group_statements),
+                )
+                group_results = [
+                    StatementResult(
+                        statement=statement, value=None, source="error", error=exc
+                    )
+                    for statement in group_statements
+                ]
             elapsed = time.perf_counter() - start
-            self.statistics_for(table).record_batch(
-                len(group_results),
-                model_answered=sum(r.source == "model" for r in group_results),
-                exact_answered=sum(r.source == "exact" for r in group_results),
-                fallbacks=sum(r.source == "fallback" for r in group_results),
-                empties=sum(r.empty for r in group_results),
-                seconds=elapsed,
-            )
+            stats = self.statistics_for(table)
+            with self._stats_lock:
+                stats.record_batch(
+                    len(group_results),
+                    model_answered=sum(r.source == "model" for r in group_results),
+                    exact_answered=sum(r.source == "exact" for r in group_results),
+                    fallbacks=sum(r.source == "fallback" for r in group_results),
+                    empties=sum(r.empty for r in group_results),
+                    errors=sum(r.source == "error" for r in group_results),
+                    degraded=sum(r.degraded for r in group_results),
+                    retries=counters["retries"],
+                    seconds=elapsed,
+                )
             for position, result in zip(positions, group_results):
                 results[position] = result
         return results  # type: ignore[return-value]
@@ -442,6 +822,94 @@ class AnalyticsService:
         ]
 
     # ------------------------------------------------------------------ #
+    # guarded tier invocation (retry + timeout + circuit breaker)
+    # ------------------------------------------------------------------ #
+    def _call_with_timeout(self, fn: Callable[[], object]) -> object:
+        timeout = self._policy.timeout_seconds
+        if timeout is None:
+            return fn()
+        if self._timeout_pool is None:
+            self._timeout_pool = ThreadPoolExecutor(
+                max_workers=4, thread_name_prefix="repro-serving-timeout"
+            )
+        future = self._timeout_pool.submit(fn)
+        try:
+            return future.result(timeout)
+        except FuturesTimeoutError as exc:
+            future.cancel()  # a running call keeps its worker; queued ones drop
+            raise ServingTimeoutError(
+                f"statement group exceeded the {timeout}s execution timeout"
+            ) from exc
+
+    def _call_tier(
+        self,
+        table: str,
+        tier: str,
+        fn: Callable[[], object],
+        counters: dict,
+    ) -> object:
+        """Run one tier call under the breaker / retry / timeout policy.
+
+        Transient failures (:class:`~repro.exceptions.TransientEngineError`
+        and timeouts) retry with exponential backoff up to
+        ``max_attempts``; every failure (transient or not) counts against
+        the tier's circuit breaker, so a deterministic engine bug opens it
+        just like a flaky one.  Caller errors pass through untouched.
+        """
+        breaker = self._breaker(table, tier)
+        before = breaker.state
+        if not breaker.allow():
+            raise CircuitOpenError(
+                f"the {tier} tier of table {table!r} is shedding load "
+                f"(circuit open)",
+                table=table,
+                tier=tier,
+            )
+        if before == CircuitBreaker.OPEN and breaker.state == CircuitBreaker.HALF_OPEN:
+            self._hub.publish("breaker.half_open", table, tier=tier)
+        delay = self._policy.backoff_seconds
+        attempt = 1
+        while True:
+            try:
+                result = self._call_with_timeout(fn)
+            except _CALLER_ERRORS:
+                raise
+            except TransientEngineError as exc:
+                self._record_tier_failure(breaker, table, tier, exc)
+                if attempt >= self._policy.max_attempts:
+                    raise
+                counters["retries"] += 1
+                self._hub.publish(
+                    "group.retry", table, tier=tier, attempt=attempt,
+                    error=repr(exc),
+                )
+                if delay > 0.0:
+                    time.sleep(delay)
+                delay *= self._policy.backoff_multiplier
+                attempt += 1
+            except Exception as exc:
+                self._record_tier_failure(breaker, table, tier, exc)
+                raise
+            else:
+                before_state = breaker.state
+                breaker.record_success()
+                if before_state != CircuitBreaker.CLOSED:
+                    self._hub.publish("breaker.closed", table, tier=tier)
+                return result
+
+    def _record_tier_failure(
+        self,
+        breaker: CircuitBreaker,
+        table: str,
+        tier: str,
+        error: BaseException,
+    ) -> None:
+        before = breaker.state
+        breaker.record_failure()
+        if breaker.state == CircuitBreaker.OPEN and before != CircuitBreaker.OPEN:
+            self._hub.publish("breaker.opened", table, tier=tier, error=repr(error))
+
+    # ------------------------------------------------------------------ #
     # group execution paths
     # ------------------------------------------------------------------ #
     def _execute_group(
@@ -451,6 +919,7 @@ class AnalyticsService:
         statements: list[ParsedStatement],
         queries: list[Query],
         mode: str,
+        counters: dict,
     ) -> list[StatementResult]:
         if kind == "count":
             if mode == "model":
@@ -458,24 +927,35 @@ class AnalyticsService:
                     "COUNT(*) requires exact execution; the model does not "
                     "estimate cardinalities"
                 )
-            return self._execute_exact_group(table, kind, statements, queries, "exact")
+            return self._execute_exact_group(
+                table, kind, statements, queries, "exact", counters
+            )
         if mode == "exact":
-            return self._execute_exact_group(table, kind, statements, queries, "exact")
+            return self._execute_exact_group(
+                table, kind, statements, queries, "exact", counters
+            )
         if mode == "model":
-            return self._execute_model_group(table, kind, statements, queries)
-        # hybrid
+            return self._execute_model_group(
+                table, kind, statements, queries, counters
+            )
+        # hybrid — capture the model reference once: a concurrent hot-swap
+        # must never give one group two different models.
         model = self._models.get(table)
         if model is None:
             # No model to serve from: the whole group is exact (this is
             # deliberate registry state, not a coverage miss, so it does
             # not count toward the fallback rate).
-            return self._execute_exact_group(table, kind, statements, queries, "exact")
+            return self._execute_exact_group(
+                table, kind, statements, queries, "exact", counters
+            )
         if not getattr(model, "is_fitted", True):
             # A registered-but-untrained model covers nothing.
             return self._execute_exact_group(
-                table, kind, statements, queries, "fallback"
+                table, kind, statements, queries, "fallback", counters
             )
-        return self._execute_hybrid_group(table, kind, statements, queries, model)
+        return self._execute_hybrid_group(
+            table, kind, statements, queries, model, counters
+        )
 
     def _batch_kwargs(self, engine: object) -> dict:
         kwargs: dict = {"on_empty": "null"}
@@ -490,15 +970,27 @@ class AnalyticsService:
         statements: list[ParsedStatement],
         queries: list[Query],
         source: str,
+        counters: dict,
     ) -> list[StatementResult]:
         engine = self.engine_for(table)
+        kwargs = self._batch_kwargs(engine)
         results: list[StatementResult] = []
         if kind == "q2":
-            answers = engine.execute_q2_batch(queries, **self._batch_kwargs(engine))  # type: ignore[attr-defined]
+            answers = self._call_tier(
+                table,
+                "exact",
+                lambda: engine.execute_q2_batch(queries, **kwargs),  # type: ignore[attr-defined]
+                counters,
+            )
             for statement, answer in zip(statements, answers):
                 results.append(self._exact_q2_result(statement, answer, source))
             return results
-        answers = engine.execute_q1_batch(queries, **self._batch_kwargs(engine))  # type: ignore[attr-defined]
+        answers = self._call_tier(
+            table,
+            "exact",
+            lambda: engine.execute_q1_batch(queries, **kwargs),  # type: ignore[attr-defined]
+            counters,
+        )
         if kind == "count":
             for statement, answer in zip(statements, answers):
                 # The count of an empty subspace is a defined answer: 0.
@@ -549,15 +1041,26 @@ class AnalyticsService:
         kind: str,
         statements: list[ParsedStatement],
         queries: list[Query],
+        counters: dict,
     ) -> list[StatementResult]:
         model = self.model_for(table)
         if kind == "q1":
-            values = model.predict_mean_batch(queries)  # type: ignore[attr-defined]
+            values = self._call_tier(
+                table,
+                "model",
+                lambda: model.predict_mean_batch(queries),  # type: ignore[attr-defined]
+                counters,
+            )
             return [
                 StatementResult(statement=s, value=float(v), source="model")
                 for s, v in zip(statements, values)
             ]
-        plane_lists = model.predict_q2_batch(queries)  # type: ignore[attr-defined]
+        plane_lists = self._call_tier(
+            table,
+            "model",
+            lambda: model.predict_q2_batch(queries),  # type: ignore[attr-defined]
+            counters,
+        )
         return [
             StatementResult(
                 statement=s,
@@ -574,6 +1077,7 @@ class AnalyticsService:
         statements: list[ParsedStatement],
         queries: list[Query],
         model: object,
+        counters: dict,
     ) -> list[StatementResult]:
         """Answer from the model; batch-fallback uncovered queries to exact.
 
@@ -581,16 +1085,47 @@ class AnalyticsService:
         overlap set ``W(q)`` is empty would be answered by extrapolation
         from the closest prototype, so the hybrid mode re-routes exactly
         those queries to the exact engine (when one is registered).
+
+        Degradation: when the model tier fails (or its breaker is open)
+        the whole group is served exact-only; when the exact fallback tier
+        fails, uncovered queries are served from the model's extrapolated
+        answers.  Either way the group answers — marked ``degraded`` —
+        instead of erroring, as long as one tier survives.
         """
-        if kind == "q1":
-            values, covered = model.predict_mean_batch_with_coverage(queries)  # type: ignore[attr-defined]
-            model_values: list = [float(v) for v in values]
-        else:
-            plane_lists, covered = model.predict_q2_batch_with_coverage(queries)  # type: ignore[attr-defined]
-            model_values = [
-                [(plane.intercept, plane.slope) for plane in planes]
-                for planes in plane_lists
-            ]
+        try:
+            if kind == "q1":
+                values, covered = self._call_tier(
+                    table,
+                    "model",
+                    lambda: model.predict_mean_batch_with_coverage(queries),  # type: ignore[attr-defined]
+                    counters,
+                )
+                model_values: list = [float(v) for v in values]
+            else:
+                plane_lists, covered = self._call_tier(
+                    table,
+                    "model",
+                    lambda: model.predict_q2_batch_with_coverage(queries),  # type: ignore[attr-defined]
+                    counters,
+                )
+                model_values = [
+                    [(plane.intercept, plane.slope) for plane in planes]
+                    for planes in plane_lists
+                ]
+        except _CALLER_ERRORS:
+            raise
+        except Exception as exc:
+            if table not in self._engines:
+                raise
+            # Model tier down: degrade the whole group to the exact tier.
+            self._hub.publish(
+                "group.degraded", table, statement_kind=kind, tier="model",
+                reason=repr(exc), statements=len(statements),
+            )
+            exact_results = self._execute_exact_group(
+                table, kind, statements, queries, "fallback", counters
+            )
+            return [replace(result, degraded=True) for result in exact_results]
         covered = np.asarray(covered, dtype=bool)
         if table not in self._engines:
             # No exact tier to fall back to: serve everything from the
@@ -602,13 +1137,31 @@ class AnalyticsService:
         results: list[StatementResult | None] = [None] * len(statements)
         uncovered = np.nonzero(~covered)[0]
         if uncovered.size:
-            fallback_results = self._execute_exact_group(
-                table,
-                kind,
-                [statements[int(i)] for i in uncovered],
-                [queries[int(i)] for i in uncovered],
-                "fallback",
-            )
+            uncovered_statements = [statements[int(i)] for i in uncovered]
+            uncovered_queries = [queries[int(i)] for i in uncovered]
+            try:
+                fallback_results = self._execute_exact_group(
+                    table, kind, uncovered_statements, uncovered_queries,
+                    "fallback", counters,
+                )
+            except _CALLER_ERRORS:
+                raise
+            except Exception as exc:
+                # Exact tier down: serve the uncovered queries from the
+                # model's extrapolated answers instead of failing them.
+                self._hub.publish(
+                    "group.degraded", table, statement_kind=kind, tier="exact",
+                    reason=repr(exc), statements=len(uncovered_statements),
+                )
+                fallback_results = [
+                    StatementResult(
+                        statement=statements[int(i)],
+                        value=model_values[int(i)],
+                        source="model",
+                        degraded=True,
+                    )
+                    for i in uncovered
+                ]
             for position, result in zip(uncovered, fallback_results):
                 results[int(position)] = result
         for position in np.nonzero(covered)[0]:

@@ -266,6 +266,7 @@ class AnalyticsSession:
         script: str | Sequence[str],
         *,
         mode: Literal["exact", "approximate", "model", "hybrid"] = "exact",
+        on_error: Literal["attach", "raise"] = "attach",
     ) -> "list[StatementResult]":
         """Run a multi-statement script through the batched serving layer.
 
@@ -274,6 +275,12 @@ class AnalyticsSession:
         :meth:`~repro.dbms.serving.AnalyticsService.execute_script`.  Both
         session entry points default to ``"exact"`` (the seed front end's
         contract); the service's own entry points default to ``"hybrid"``,
-        the serving-native mode.
+        the serving-native mode.  ``on_error`` controls runtime fault
+        containment: ``"attach"`` (default) turns one group's engine/model
+        failure into per-statement ``source="error"`` results while the
+        rest of the script keeps serving; ``"raise"`` propagates the first
+        group failure.
         """
-        return self._service.execute_script(script, mode=self._resolve_mode(mode))
+        return self._service.execute_script(
+            script, mode=self._resolve_mode(mode), on_error=on_error
+        )

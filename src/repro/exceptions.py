@@ -32,6 +32,64 @@ class StorageError(ReproError):
     """A failure in the SQLite-backed storage substrate."""
 
 
+class ModelPersistenceError(ReproError):
+    """A persisted model file could not be read back into a model.
+
+    Raised for missing files, truncated or corrupt payloads, and
+    unsupported format versions.  ``path`` carries the offending file (when
+    known) and ``format_version`` the version marker found in the payload
+    (``None`` when the payload was unreadable before the marker).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: object = None,
+        format_version: object = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.format_version = format_version
+
+
+class TransientEngineError(ReproError):
+    """A retryable, transient failure of an execution tier.
+
+    The serving layer's bounded-retry machinery treats this class (and its
+    subclasses, e.g. :class:`ServingTimeoutError`) as "try again": the
+    failure is expected to clear on its own — a contended resource, a
+    timed-out batch, an injected test fault — unlike a deterministic bug,
+    which retrying cannot fix.
+    """
+
+
+class ServingTimeoutError(TransientEngineError):
+    """A served statement group exceeded its per-group execution timeout."""
+
+
+class CircuitOpenError(ReproError):
+    """An execution tier's circuit breaker is open (the tier is shed).
+
+    Carries the ``table`` and ``tier`` (``"exact"`` or ``"model"``) whose
+    breaker rejected the call, so hybrid serving can degrade to the
+    surviving tier instead of failing the statement group.
+    """
+
+    def __init__(self, message: str, *, table: str = "", tier: str = "") -> None:
+        super().__init__(message)
+        self.table = table
+        self.tier = tier
+
+
+class LifecycleError(ReproError):
+    """A model-lifecycle operation (drift retrain, swap, rollback) failed."""
+
+
+class InjectedFaultError(ReproError):
+    """Default error raised by an armed fault-injection point (testing)."""
+
+
 class CatalogError(StorageError):
     """A dataset/table name is unknown to, or conflicts with, the catalog."""
 

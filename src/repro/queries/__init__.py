@@ -25,7 +25,7 @@ from .workload import (
     WorkloadSpec,
     split_workload,
 )
-from .stream import QueryAnswerStream, LabelledWorkload
+from .stream import QueryAnswerStream, LabelledWorkload, QueryLog
 
 __all__ = [
     "lp_distance",
@@ -48,4 +48,5 @@ __all__ = [
     "split_workload",
     "QueryAnswerStream",
     "LabelledWorkload",
+    "QueryLog",
 ]

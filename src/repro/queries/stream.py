@@ -10,6 +10,8 @@ replayable set of pairs used by the experiments.
 
 from __future__ import annotations
 
+import threading
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
@@ -18,7 +20,7 @@ import numpy as np
 from ..exceptions import WorkloadError
 from .query import Query, QueryResultPair
 
-__all__ = ["QueryAnswerStream", "LabelledWorkload"]
+__all__ = ["QueryAnswerStream", "LabelledWorkload", "QueryLog"]
 
 #: Signature of an answering oracle: maps a query to its exact Q1 answer.
 AnswerOracle = Callable[[Query], float]
@@ -62,6 +64,59 @@ class QueryAnswerStream:
                     continue
                 raise
             yield QueryResultPair(query=query, answer=answer)
+
+
+class QueryLog:
+    """A bounded, thread-safe ring buffer of recently served queries.
+
+    The serving layer records every statement's query here (per table), so
+    the lifecycle manager can retrain on the *actual recent traffic* — the
+    stream whose coverage the stale model is failing — instead of on a
+    synthetic workload.  Old entries fall off the far end once ``capacity``
+    is reached, making the log a sliding window over the query stream.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise WorkloadError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = int(capacity)
+        self._entries: deque[Query] = deque(maxlen=self._capacity)
+        self._lock = threading.Lock()
+        self._recorded = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def total_recorded(self) -> int:
+        """Number of queries ever recorded (including evicted ones)."""
+        return self._recorded
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def record(self, query: Query) -> None:
+        """Append one query, evicting the oldest when full."""
+        with self._lock:
+            self._entries.append(query)
+            self._recorded += 1
+
+    def record_many(self, queries: Iterable[Query]) -> None:
+        """Append many queries in stream order."""
+        with self._lock:
+            for query in queries:
+                self._entries.append(query)
+                self._recorded += 1
+
+    def snapshot(self) -> list[Query]:
+        """A point-in-time copy of the retained queries, oldest first."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,24 @@
+"""Testing utilities: deterministic fault injection for the serving stack.
+
+This subpackage is part of the library's *robustness surface*, not of the
+serving hot path: tests, the CI fault-matrix soak and the lifecycle
+benchmark use it to inject engine exceptions, slow batches, truncated or
+corrupt model files and mid-swap crashes, then assert that the stack
+degrades instead of dying.
+"""
+
+from .faults import (
+    ArmedFault,
+    FaultInjector,
+    FaultyEngine,
+    FaultyModel,
+    corrupt_model_file,
+)
+
+__all__ = [
+    "ArmedFault",
+    "FaultInjector",
+    "FaultyEngine",
+    "FaultyModel",
+    "corrupt_model_file",
+]
