@@ -98,6 +98,7 @@ from .exceptions import (
     ModelPersistenceError,
     NotFittedError,
     ReproError,
+    ServiceOverloadedError,
     ServingTimeoutError,
     SQLSyntaxError,
     StorageError,
@@ -130,17 +131,23 @@ from .data import (
 from .dbms import (
     AnalyticsService,
     AnalyticsSession,
+    AnswerCache,
     CircuitBreaker,
+    ConcurrencyPolicy,
+    ConcurrentAnalyticsService,
     DegradationPolicy,
     DriftPolicy,
     ExactQueryEngine,
     GridIndex,
+    LatencyHistogram,
     LifecycleEvent,
+    LifecycleScheduler,
     ModelManager,
     ModelVersionStore,
     ObserverHub,
     PrototypeIndex,
     RecordingObserver,
+    ScriptFuture,
     ServingStatistics,
     ShardedQueryEngine,
     SQLiteDataStore,
@@ -190,6 +197,7 @@ __all__ = [
     "ModelPersistenceError",
     "TransientEngineError",
     "ServingTimeoutError",
+    "ServiceOverloadedError",
     "CircuitOpenError",
     "LifecycleError",
     "InjectedFaultError",
@@ -223,14 +231,20 @@ __all__ = [
     "AnalyticsSession",
     "AnalyticsService",
     "ServingStatistics",
+    "LatencyHistogram",
     "DegradationPolicy",
     "CircuitBreaker",
+    "ConcurrentAnalyticsService",
+    "ConcurrencyPolicy",
+    "AnswerCache",
+    "ScriptFuture",
     "ObserverHub",
     "LifecycleEvent",
     "RecordingObserver",
     "ModelManager",
     "DriftPolicy",
     "ModelVersionStore",
+    "LifecycleScheduler",
     "parse_script",
     "parse_statement",
     # core

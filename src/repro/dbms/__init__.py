@@ -30,6 +30,11 @@ during the training phase.  This subpackage provides that substrate:
   transparent exact fallback on empty ``W(q)`` (fallback rate reported via
   :class:`~repro.dbms.serving.ServingStatistics`), guarded by per-tier
   circuit breakers, bounded retries and per-statement error answers,
+* :class:`~repro.dbms.concurrent.ConcurrentAnalyticsService` — the
+  concurrent serving front over the service: thread-pool fan-out with
+  bounded admission, a micro-batching coalescer merging concurrent
+  sessions' statements into bigger (cheaper per-statement) batches, and a
+  version-keyed answer cache that model hot-swaps invalidate naturally,
 * :class:`~repro.dbms.lifecycle.ModelManager` — the self-healing model
   lifecycle: sliding-window drift detection over the serving statistics,
   incremental retraining on the recorded recent query stream, versioned
@@ -55,8 +60,15 @@ from .serving import (
     AnalyticsService,
     CircuitBreaker,
     DegradationPolicy,
+    LatencyHistogram,
     ServingStatistics,
     StatementResult,
+)
+from .concurrent import (
+    AnswerCache,
+    ConcurrencyPolicy,
+    ConcurrentAnalyticsService,
+    ScriptFuture,
 )
 from .observer import (
     LifecycleEvent,
@@ -65,7 +77,12 @@ from .observer import (
     ObserverHub,
     RecordingObserver,
 )
-from .lifecycle import DriftPolicy, ModelManager, ModelVersionStore
+from .lifecycle import (
+    DriftPolicy,
+    LifecycleScheduler,
+    ModelManager,
+    ModelVersionStore,
+)
 
 __all__ = [
     "ColumnSpec",
@@ -88,8 +105,13 @@ __all__ = [
     "AnalyticsService",
     "ServingStatistics",
     "StatementResult",
+    "LatencyHistogram",
     "DegradationPolicy",
     "CircuitBreaker",
+    "ConcurrentAnalyticsService",
+    "ConcurrencyPolicy",
+    "AnswerCache",
+    "ScriptFuture",
     "LifecycleEvent",
     "LifecycleObserver",
     "LoggingObserver",
@@ -98,6 +120,7 @@ __all__ = [
     "DriftPolicy",
     "ModelManager",
     "ModelVersionStore",
+    "LifecycleScheduler",
     "ParsedStatement",
     "parse_script",
     "parse_statement",

@@ -1,0 +1,769 @@
+"""Concurrent serving front: fan-out, micro-batching coalescer, answer cache.
+
+The batched serving layer (:class:`~repro.dbms.serving.AnalyticsService`)
+is synchronous and single-caller: one script at a time, one batch per
+``(table, kind)`` group of *that script*.  The paper's pitch — analytics
+at interactive latency for many users — needs the opposite shape: many
+concurrent sessions, whose statements are *merged* rather than serialised,
+because every batch path in this codebase gets cheaper per statement as
+batches grow.  :class:`ConcurrentAnalyticsService` is that front.  It adds
+three mechanisms on top of an ordinary service, all transparent to the
+statement semantics:
+
+**Admission control.**  Submissions are accepted onto a bounded queue of
+pending statements (:attr:`ConcurrencyPolicy.max_pending_statements`).
+When the bound would be exceeded the submission is rejected with a typed
+:class:`~repro.exceptions.ServiceOverloadedError` instead of queueing
+without bound — bounded queues trade a clean, retryable rejection for the
+unbounded latency collapse of an overloaded server.
+
+**Micro-batching coalescer.**  Admitted statements are grouped by
+``(table, kind, mode)``.  The first arrival of a group schedules a flush
+:attr:`~ConcurrencyPolicy.coalesce_window_seconds` later; statements from
+*other* sessions arriving within the window join the same pending group,
+and the flush executes them as **one** batch through the inner service's
+``execute_*_batch`` / ``predict_*_batch`` paths.  Results are demultiplexed
+back to each caller in submission order with per-statement ``degraded`` /
+``error`` flags preserved — fault containment stays per group, so a
+mid-batch tier failure errors only the statements of the affected
+``(table, kind)`` group, never co-batched statements of other groups.  A
+group hitting :attr:`~ConcurrencyPolicy.max_batch_statements` flushes
+immediately (the window is a latency bound, not a throughput one).
+
+**Version-keyed answer cache.**  Repeated dashboard traffic is
+short-circuited by an :class:`AnswerCache` keyed on the canonicalised
+query (vector + norm order), the statement kind, the execution mode and
+the table's ``(model_version, registry_epoch)`` pair.  The epoch
+(:meth:`~repro.dbms.serving.AnalyticsService.registry_epoch_for`) advances
+on every model hot-swap and engine registration, so a swap — or a
+rollback restoring an older version marker — invalidates naturally: a key
+minted under an earlier epoch can never match a later lookup.  Entries are
+additionally dropped eagerly when the service publishes ``model.swapped``
+through its :class:`~repro.dbms.observer.ObserverHub` (the lifecycle
+manager's hot-swap event), bounding the dead-entry footprint.  Only clean
+answers are cached (no errors, nothing degraded), and a flush that raced a
+swap (epoch moved while it executed) skips cache population entirely.
+
+Statistics: the front keeps its own per-table
+:class:`~repro.dbms.serving.ServingStatistics` — end-to-end
+(enqueue-to-answer) latency percentiles via the fixed-bucket histogram,
+cache hits and coalesce widths — while the inner service's statistics keep
+measuring pure execution, which is what the lifecycle manager's drift
+windows must see (cache hits never mask drift: they bypass the inner
+statistics entirely, and a swap empties the cache).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+from ..exceptions import (
+    ConfigurationError,
+    EmptySubspaceError,
+    ServiceOverloadedError,
+    SQLSyntaxError,
+)
+from .serving import (
+    _CALLER_ERRORS,
+    _MODES,
+    _ON_ERROR,
+    AnalyticsService,
+    ServingStatistics,
+    StatementResult,
+)
+from .sqlfront import ParsedStatement
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..testing.faults import FaultInjector
+
+__all__ = [
+    "ConcurrencyPolicy",
+    "AnswerCache",
+    "ScriptFuture",
+    "ConcurrentAnalyticsService",
+]
+
+
+@dataclass(frozen=True)
+class ConcurrencyPolicy:
+    """Tuning of the concurrent serving front.
+
+    Attributes
+    ----------
+    max_workers:
+        Worker threads executing flushes.  This bounds how many statement
+        groups execute concurrently; the numpy batch kernels release the
+        GIL, so on multi-core hosts groups genuinely overlap.
+    max_pending_statements:
+        Admission bound: statements admitted but not yet answered.  A
+        submission that would exceed it raises
+        :class:`~repro.exceptions.ServiceOverloadedError`.
+    coalesce_window_seconds:
+        How long the first statement of a ``(table, kind, mode)`` group
+        waits for co-batchable arrivals before flushing.  2–5 ms merges
+        concurrent dashboard traffic without a visible latency cost;
+        ``0`` disables coalescing (every submission flushes immediately).
+    max_batch_statements:
+        A pending group reaching this size flushes without waiting for
+        the window (bounds per-batch memory and worst-case latency).
+    cache_capacity:
+        Answer-cache entries retained (LRU eviction); ``0`` disables the
+        cache entirely.
+    cache_ttl_seconds:
+        Optional time-to-live per cache entry; ``None`` keeps entries
+        until evicted or invalidated.  Versioned keys already handle
+        model staleness — the TTL is for deployments whose *data* changes
+        underneath a fixed registry (appends without re-registration).
+    """
+
+    max_workers: int = 4
+    max_pending_statements: int = 4096
+    coalesce_window_seconds: float = 0.002
+    max_batch_statements: int = 1024
+    cache_capacity: int = 4096
+    cache_ttl_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {self.max_workers}"
+            )
+        if self.max_pending_statements < 1:
+            raise ConfigurationError(
+                f"max_pending_statements must be >= 1, got "
+                f"{self.max_pending_statements}"
+            )
+        if self.coalesce_window_seconds < 0.0:
+            raise ConfigurationError(
+                f"coalesce_window_seconds must be >= 0, got "
+                f"{self.coalesce_window_seconds}"
+            )
+        if self.max_batch_statements < 1:
+            raise ConfigurationError(
+                f"max_batch_statements must be >= 1, got "
+                f"{self.max_batch_statements}"
+            )
+        if self.cache_capacity < 0:
+            raise ConfigurationError(
+                f"cache_capacity must be >= 0, got {self.cache_capacity}"
+            )
+        if self.cache_ttl_seconds is not None and self.cache_ttl_seconds <= 0.0:
+            raise ConfigurationError(
+                f"cache_ttl_seconds must be positive or None, got "
+                f"{self.cache_ttl_seconds}"
+            )
+
+
+class AnswerCache:
+    """A thread-safe LRU answer cache with optional TTL expiry.
+
+    Keys are opaque hashable tuples whose first component is the table
+    name (so :meth:`invalidate` can drop one table's entries); values are
+    the :class:`~repro.dbms.serving.StatementResult` of a clean execution.
+    Capacity is enforced by least-recently-*used* eviction; a TTL, when
+    configured, expires entries lazily at lookup.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        ttl_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = int(capacity)
+        self._ttl = ttl_seconds
+        self._clock = clock
+        self._entries: OrderedDict[tuple, tuple[float, StatementResult]] = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def get(self, key: tuple) -> StatementResult | None:
+        """The cached result under ``key``, or ``None`` (miss / expired)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            expires, result = entry
+            if self._ttl is not None and self._clock() >= expires:
+                del self._entries[key]
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return result
+
+    def put(self, key: tuple, result: StatementResult) -> None:
+        """Insert (or refresh) an entry, evicting the LRU tail at capacity."""
+        expires = (
+            self._clock() + self._ttl if self._ttl is not None else float("inf")
+        )
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (expires, result)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self, table: str | None = None) -> int:
+        """Drop one table's entries (or everything); returns the count."""
+        with self._lock:
+            if table is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+            else:
+                stale = [k for k in self._entries if k[0] == table]
+                for key in stale:
+                    del self._entries[key]
+                dropped = len(stale)
+            self.invalidations += dropped
+            return dropped
+
+
+class ScriptFuture:
+    """The pending results of one submitted script (statement order kept)."""
+
+    def __init__(
+        self, futures: "list[Future[StatementResult]]", on_error: str
+    ) -> None:
+        self._futures = futures
+        self._on_error = on_error
+
+    def __len__(self) -> int:
+        return len(self._futures)
+
+    def done(self) -> bool:
+        """Whether every statement of the script has been answered."""
+        return all(future.done() for future in self._futures)
+
+    def result(self, timeout: float | None = None) -> list[StatementResult]:
+        """Block until every statement is answered; results in order.
+
+        With ``on_error="raise"`` the first attached statement error is
+        re-raised (mirroring the inner service's script contract); caller
+        errors (syntax / configuration) always raise.  ``timeout`` bounds
+        the *total* wait across the script.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        results: list[StatementResult] = []
+        for future in self._futures:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            results.append(future.result(remaining))
+        if self._on_error == "raise":
+            for result in results:
+                if result.error is not None:
+                    raise result.error
+        return results
+
+
+class _PendingEntry:
+    """One admitted statement waiting in (or flushing from) the coalescer."""
+
+    __slots__ = ("statement", "key", "future", "origin", "enqueued_at")
+
+    def __init__(
+        self,
+        statement: ParsedStatement,
+        key: tuple | None,
+        future: "Future[StatementResult]",
+        origin: int,
+        enqueued_at: float,
+    ) -> None:
+        self.statement = statement
+        self.key = key
+        self.future = future
+        self.origin = origin
+        self.enqueued_at = enqueued_at
+
+
+class _PendingGroup:
+    """The coalescer's per-``(table, kind, mode)`` accumulation buffer."""
+
+    __slots__ = ("entries", "flush_scheduled")
+
+    def __init__(self) -> None:
+        self.entries: list[_PendingEntry] = []
+        self.flush_scheduled = False
+
+
+class ConcurrentAnalyticsService:
+    """Concurrent, coalescing, caching front over an :class:`AnalyticsService`.
+
+    Parameters
+    ----------
+    service:
+        The inner (synchronous) serving layer; registry, guarded tier
+        execution, degradation and statistics all stay its job.  An
+        omitted service gets a private empty one (register tables through
+        the delegating ``register_*`` methods).
+    policy:
+        The :class:`ConcurrencyPolicy` (workers, admission bound,
+        coalescing window, cache sizing).
+    injector:
+        Optional :class:`~repro.testing.faults.FaultInjector` fired at
+        ``"concurrent.flush"`` and ``"concurrent.flush.{table}"`` before
+        each batch executes — the fault-matrix surface proving a mid-batch
+        failure stays contained to its group.
+    clock:
+        Monotonic clock used for cache TTLs and latency accounting
+        (injectable for deterministic tests).
+
+    The front is itself a valid session backend: it exposes the same
+    ``execute`` / ``execute_script`` / registry surface as the inner
+    service, so an :class:`~repro.dbms.sqlfront.AnalyticsSession` attaches
+    to either interchangeably.
+    """
+
+    #: Fault points fired inside the coalescer's flush path.
+    FAULT_POINTS = ("concurrent.flush",)
+
+    def __init__(
+        self,
+        service: AnalyticsService | None = None,
+        *,
+        policy: ConcurrencyPolicy | None = None,
+        injector: "FaultInjector | None" = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._service = service if service is not None else AnalyticsService()
+        self._policy = policy or ConcurrencyPolicy()
+        self._injector = injector
+        self._clock = clock
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._policy.max_workers,
+            thread_name_prefix="repro-concurrent",
+        )
+        self._groups: dict[tuple[str, str, str], _PendingGroup] = {}
+        self._groups_lock = threading.Lock()
+        self._pending = 0
+        self._pending_lock = threading.Lock()
+        self._origins = itertools.count()
+        self._closed = False
+        self._statistics: dict[str, ServingStatistics] = {}
+        self._stats_lock = threading.Lock()
+        self._cache: AnswerCache | None = None
+        self._swap_observer = None
+        if self._policy.cache_capacity > 0:
+            self._cache = AnswerCache(
+                self._policy.cache_capacity,
+                self._policy.cache_ttl_seconds,
+                clock,
+            )
+            # Eager invalidation on hot-swap: the epoch in the key already
+            # guarantees correctness, this just reclaims dead entries.
+            cache = self._cache
+
+            class _SwapInvalidator:
+                def notify(self, event) -> None:
+                    if event.kind == "model.swapped":
+                        cache.invalidate(event.table)
+
+            self._swap_observer = _SwapInvalidator()
+            self._service.observers.subscribe(self._swap_observer)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle / registry delegation (session-façade compatibility)
+    # ------------------------------------------------------------------ #
+    @property
+    def service(self) -> AnalyticsService:
+        """The inner synchronous serving layer."""
+        return self._service
+
+    @property
+    def policy(self) -> ConcurrencyPolicy:
+        """The concurrency policy in force."""
+        return self._policy
+
+    @property
+    def cache(self) -> AnswerCache | None:
+        """The answer cache (``None`` when disabled)."""
+        return self._cache
+
+    @property
+    def observers(self):
+        """The inner service's observer hub."""
+        return self._service.observers
+
+    @property
+    def tables(self) -> list[str]:
+        """All table names known to the inner service."""
+        return self._service.tables
+
+    @property
+    def pending_statements(self) -> int:
+        """Statements admitted but not yet answered."""
+        with self._pending_lock:
+            return self._pending
+
+    def register_engine(self, table: str, engine: object) -> None:
+        """Attach an exact engine (delegates; bumps the registry epoch)."""
+        self._service.register_engine(table, engine)
+
+    def register_model(self, table: str, model: object) -> None:
+        """Attach a trained model (delegates; bumps the registry epoch)."""
+        self._service.register_model(table, model)
+
+    def swap_model(
+        self, table: str, model: object, *, version: object = None
+    ) -> object | None:
+        """Atomically swap a table's model (delegates to the inner service)."""
+        return self._service.swap_model(table, model, version=version)
+
+    def close(self, *, wait: bool = True) -> None:
+        """Stop accepting work and shut the worker pool down."""
+        self._closed = True
+        self._pool.shutdown(wait=wait, cancel_futures=False)
+        if self._swap_observer is not None:
+            self._service.observers.unsubscribe(self._swap_observer)
+            self._swap_observer = None
+
+    def __enter__(self) -> "ConcurrentAnalyticsService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # statistics (front level: end-to-end latency, cache, coalescing)
+    # ------------------------------------------------------------------ #
+    def statistics_for(self, table: str) -> ServingStatistics:
+        """Front-level per-table statistics (created on first access).
+
+        These measure what the front adds — enqueue-to-answer latency
+        percentiles, cache hits, coalesce widths.  The inner service's own
+        statistics (``service.statistics_for``) keep measuring executed
+        batches only, which is what drift detection must see.
+        """
+        with self._stats_lock:
+            if table not in self._statistics:
+                self._statistics[table] = ServingStatistics()
+            return self._statistics[table]
+
+    @property
+    def per_table_statistics(self) -> Mapping[str, ServingStatistics]:
+        """Read-only view of the front-level per-table statistics."""
+        with self._stats_lock:
+            return dict(self._statistics)
+
+    @property
+    def statistics(self) -> ServingStatistics:
+        """Front-wide aggregate (exact merge, including the histograms)."""
+        total = ServingStatistics()
+        for stats in self.per_table_statistics.values():
+            total.merge(stats)
+        return total
+
+    def reset_statistics(self) -> None:
+        """Clear the front-level statistics of every table."""
+        with self._stats_lock:
+            self._statistics.clear()
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit_script(
+        self,
+        script: str | Sequence[str | ParsedStatement],
+        *,
+        mode: str = "hybrid",
+        on_error: str = "attach",
+    ) -> ScriptFuture:
+        """Admit a script and return a :class:`ScriptFuture` immediately.
+
+        Statements are parsed on the calling thread (parse errors raise
+        here, synchronously), answered from the cache where possible, and
+        otherwise enqueued into the coalescer.  The returned future yields
+        the same per-statement :class:`~repro.dbms.serving.StatementResult`
+        list as the inner service's ``execute_script`` — cache hits carry
+        ``cached=True``.
+
+        Raises
+        ------
+        ServiceOverloadedError
+            When admitting the script's uncached statements would exceed
+            :attr:`ConcurrencyPolicy.max_pending_statements`.  Nothing of
+            the script is admitted in that case.
+        """
+        if self._closed:
+            raise ConfigurationError(
+                "the concurrent serving front has been closed"
+            )
+        if mode not in _MODES:
+            raise SQLSyntaxError(
+                f"unknown execution mode {mode!r} (expected one of {_MODES})"
+            )
+        if on_error not in _ON_ERROR:
+            raise ConfigurationError(
+                f"on_error must be one of {_ON_ERROR}, got {on_error!r}"
+            )
+        statements = AnalyticsService._parse_input(script)
+        futures: list[Future[StatementResult]] = [
+            Future() for _ in statements
+        ]
+        origin = next(self._origins)
+        lookup_start = self._clock()
+        hits: list[tuple[int, StatementResult]] = []
+        misses: list[tuple[int, ParsedStatement, tuple | None]] = []
+        for position, statement in enumerate(statements):
+            key = self._cache_key(statement, mode)
+            if key is not None:
+                cached = self._cache.get(key)  # type: ignore[union-attr]
+                if cached is not None:
+                    hits.append(
+                        (
+                            position,
+                            replace(cached, statement=statement, cached=True),
+                        )
+                    )
+                    continue
+            misses.append((position, statement, key))
+        # Admission control happens before anything is resolved or
+        # enqueued, so a rejected script is rejected whole.
+        if misses:
+            self._admit(len(misses))
+        if hits:
+            elapsed = self._clock() - lookup_start
+            by_table: dict[str, list[StatementResult]] = {}
+            for _, result in hits:
+                by_table.setdefault(result.table, []).append(result)
+            for table, results in by_table.items():
+                stats = self.statistics_for(table)
+                with self._stats_lock:
+                    stats.record_batch(
+                        len(results),
+                        cache_hits=len(results),
+                        empties=sum(r.empty for r in results),
+                        seconds=elapsed * len(results) / len(hits),
+                    )
+            for position, result in hits:
+                futures[position].set_result(result)
+        if misses:
+            now = self._clock()
+            for position, statement, key in misses:
+                entry = _PendingEntry(
+                    statement, key, futures[position], origin, now
+                )
+                self._enqueue((statement.table, statement.kind, mode), entry)
+        return ScriptFuture(futures, on_error)
+
+    def execute_script(
+        self,
+        script: str | Sequence[str | ParsedStatement],
+        *,
+        mode: str = "hybrid",
+        on_error: str = "attach",
+        timeout: float | None = None,
+    ) -> list[StatementResult]:
+        """Submit a script and block for its results (submission order)."""
+        return self.submit_script(script, mode=mode, on_error=on_error).result(
+            timeout
+        )
+
+    def execute(
+        self,
+        sql: str | ParsedStatement,
+        *,
+        mode: str = "hybrid",
+        timeout: float | None = None,
+    ):
+        """Serve one statement, returning its bare value (service contract).
+
+        Mirrors :meth:`AnalyticsService.execute`: attached errors re-raise
+        and an empty exact Q1/Q2 subspace raises
+        :class:`~repro.exceptions.EmptySubspaceError`.
+        """
+        result = self.execute_script([sql], mode=mode, timeout=timeout)[0]
+        if result.error is not None:
+            raise result.error
+        if result.empty and result.kind != "count":
+            raise EmptySubspaceError(
+                f"statement over table {result.table!r} selected no rows; its "
+                f"exact {result.kind.upper()} answer is undefined"
+            )
+        return result.value
+
+    # ------------------------------------------------------------------ #
+    # admission / cache keys
+    # ------------------------------------------------------------------ #
+    def _admit(self, count: int) -> None:
+        with self._pending_lock:
+            if self._pending + count > self._policy.max_pending_statements:
+                raise ServiceOverloadedError(
+                    f"admitting {count} statements would exceed the pending "
+                    f"bound ({self._pending} in flight, limit "
+                    f"{self._policy.max_pending_statements}); retry later",
+                    pending=self._pending,
+                    limit=self._policy.max_pending_statements,
+                )
+            self._pending += count
+
+    def _release(self, count: int) -> None:
+        with self._pending_lock:
+            self._pending -= count
+
+    def _cache_key(self, statement: ParsedStatement, mode: str) -> tuple | None:
+        """The versioned cache key of a statement, ``None`` when uncacheable."""
+        if self._cache is None:
+            return None
+        table = statement.table
+        query = self._service.query_for(statement)
+        version = self._service.model_version_for(table)
+        epoch = self._service.registry_epoch_for(table)
+        try:
+            hash(version)
+        except TypeError:
+            return None  # exotic unhashable version markers: skip caching
+        return (
+            table,
+            statement.kind,
+            mode,
+            version,
+            epoch,
+            query.norm_order,
+            query.to_vector().tobytes(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # coalescer
+    # ------------------------------------------------------------------ #
+    def _enqueue(self, group_key: tuple[str, str, str], entry: _PendingEntry) -> None:
+        batch: list[_PendingEntry] | None = None
+        schedule = False
+        with self._groups_lock:
+            group = self._groups.get(group_key)
+            if group is None:
+                group = self._groups[group_key] = _PendingGroup()
+            group.entries.append(entry)
+            if len(group.entries) >= self._policy.max_batch_statements:
+                batch = group.entries
+                group.entries = []
+            elif not group.flush_scheduled:
+                group.flush_scheduled = True
+                schedule = True
+        if batch is not None:
+            self._pool.submit(self._run_flush, group_key, batch)
+        if schedule:
+            self._pool.submit(self._window_flush, group_key)
+
+    def _window_flush(self, group_key: tuple[str, str, str]) -> None:
+        window = self._policy.coalesce_window_seconds
+        if window > 0.0:
+            time.sleep(window)
+        with self._groups_lock:
+            group = self._groups.get(group_key)
+            if group is None:
+                return
+            batch = group.entries
+            group.entries = []
+            group.flush_scheduled = False
+        if batch:
+            self._run_flush(group_key, batch)
+
+    def _run_flush(
+        self, group_key: tuple[str, str, str], entries: list[_PendingEntry]
+    ) -> None:
+        table, kind, mode = group_key
+        start = self._clock()
+        try:
+            if self._injector is not None:
+                self._injector.fire(
+                    "concurrent.flush",
+                    table=table,
+                    kind=kind,
+                    statements=len(entries),
+                )
+                self._injector.fire(
+                    f"concurrent.flush.{table}",
+                    table=table,
+                    kind=kind,
+                    statements=len(entries),
+                )
+            epoch_before = self._service.registry_epoch_for(table)
+            results = self._service.execute_script(
+                [entry.statement for entry in entries],
+                mode=mode,
+                on_error="attach",
+            )
+            cacheable = (
+                self._cache is not None
+                and self._service.registry_epoch_for(table) == epoch_before
+            )
+        except _CALLER_ERRORS as exc:
+            # Caller bugs (unknown table, bad configuration) propagate to
+            # every waiting caller of this group — and only this group.
+            for entry in entries:
+                entry.future.set_exception(exc)
+            self._release(len(entries))
+            return
+        except Exception as exc:
+            # Containment of last resort (e.g. an injected flush fault):
+            # the affected group answers with attached errors; co-batched
+            # groups of other tables/kinds are untouched.
+            self._service.observers.publish(
+                "group.error",
+                table,
+                statement_kind=kind,
+                error=repr(exc),
+                statements=len(entries),
+            )
+            results = [
+                StatementResult(
+                    statement=entry.statement,
+                    value=None,
+                    source="error",
+                    error=exc,
+                )
+                for entry in entries
+            ]
+            cacheable = False
+        now = self._clock()
+        width = len({entry.origin for entry in entries})
+        latencies = [now - entry.enqueued_at for entry in entries]
+        stats = self.statistics_for(table)
+        with self._stats_lock:
+            stats.record_batch(
+                len(results),
+                model_answered=sum(r.source == "model" for r in results),
+                exact_answered=sum(r.source == "exact" for r in results),
+                fallbacks=sum(r.source == "fallback" for r in results),
+                empties=sum(r.empty for r in results),
+                errors=sum(r.source == "error" for r in results),
+                degraded=sum(r.degraded for r in results),
+                coalesce_width=width,
+                seconds=now - start,
+                latency_seconds=latencies,
+            )
+        for entry, result in zip(entries, results):
+            if (
+                cacheable
+                and entry.key is not None
+                and result.error is None
+                and not result.degraded
+            ):
+                self._cache.put(entry.key, result)  # type: ignore[union-attr]
+            entry.future.set_result(result)
+        self._release(len(entries))

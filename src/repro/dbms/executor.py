@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import math
 import time
-import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -151,26 +150,6 @@ class ExecutionStatistics:
     def max_seconds(self) -> float:
         """Largest (amortised) per-query latency seen (0 when unused)."""
         return self.max_query_seconds
-
-    @property
-    def per_query_seconds(self) -> list[float]:
-        """Deprecated raw latency list.
-
-        The statistics no longer retain one entry per query (that list grew
-        without bound on long streams); this accessor now synthesises a list
-        of ``queries_executed`` copies of the mean latency, which preserves
-        the ``len`` / ``sum`` / ``mean`` contracts of the old attribute.
-        Use :attr:`mean_seconds`, :attr:`min_seconds` and
-        :attr:`max_seconds` instead.
-        """
-        warnings.warn(
-            "ExecutionStatistics.per_query_seconds is deprecated: the raw "
-            "latency list is no longer stored; use mean_seconds / "
-            "min_seconds / max_seconds",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return [self.mean_seconds] * self.queries_executed
 
     def merge(self, other: "ExecutionStatistics") -> None:
         """Fold another statistics object into this one.

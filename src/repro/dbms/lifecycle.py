@@ -47,6 +47,7 @@ is always either the old one or the fully-trained new one.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -66,7 +67,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..testing.faults import FaultInjector
     from .storage import SQLiteDataStore
 
-__all__ = ["DriftPolicy", "ModelVersionStore", "ModelManager"]
+__all__ = [
+    "DriftPolicy",
+    "ModelVersionStore",
+    "ModelManager",
+    "LifecycleScheduler",
+]
 
 #: Signature of a custom retraining hook: ``(table, old_model, engine,
 #: queries) -> new trained model``.
@@ -581,3 +587,90 @@ class ModelManager:
 
 def _rmse(predicted: np.ndarray, truth: np.ndarray) -> float:
     return float(np.sqrt(np.mean((predicted - truth) ** 2)))
+
+
+class LifecycleScheduler:
+    """A background daemon driving :meth:`ModelManager.tick` on an interval.
+
+    The manager's watch loop is caller-driven by design (deterministic
+    tests); production deployments want it to run by itself.  The
+    scheduler owns one daemon thread that calls ``manager.tick()`` every
+    ``interval_seconds`` until :meth:`stop` — with *exception
+    containment*: a tick that raises is published to the manager's
+    :class:`~repro.dbms.observer.ObserverHub` as a ``scheduler.error``
+    event and the loop keeps running (a transiently broken retrain path
+    must not kill the watch loop; the manager's own backoff already
+    throttles retries).
+
+    ``start``/``stop`` are idempotent; ``stop`` wakes the thread
+    immediately (no sleep-out of the interval) and joins it.  The
+    scheduler is also a context manager::
+
+        with LifecycleScheduler(manager, interval_seconds=1.0):
+            serve_forever()
+    """
+
+    def __init__(
+        self, manager: ModelManager, *, interval_seconds: float = 1.0
+    ) -> None:
+        if interval_seconds <= 0.0:
+            raise ConfigurationError(
+                f"interval_seconds must be positive, got {interval_seconds}"
+            )
+        self.manager = manager
+        self.interval_seconds = float(interval_seconds)
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self.tick_count = 0
+        self.error_count = 0
+        self.last_statuses: dict[str, str] = {}
+
+    @property
+    def running(self) -> bool:
+        """Whether the scheduler thread is currently alive."""
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    def start(self) -> "LifecycleScheduler":
+        """Start the daemon thread (idempotent while running)."""
+        with self._lock:
+            if self.running:
+                return self
+            self._stop_event.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-lifecycle", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float | None = 5.0) -> None:
+        """Signal the thread to exit and join it (idempotent)."""
+        with self._lock:
+            thread = self._thread
+            self._stop_event.set()
+            if thread is not None:
+                thread.join(timeout)
+                self._thread = None
+
+    def __enter__(self) -> "LifecycleScheduler":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        while not self._stop_event.is_set():
+            try:
+                self.last_statuses = self.manager.tick()
+            except Exception as exc:
+                self.error_count += 1
+                try:
+                    self.manager.service.observers.publish(
+                        "scheduler.error", error=repr(exc)
+                    )
+                except Exception:
+                    pass  # a broken observer must not kill the loop either
+            else:
+                self.tick_count += 1
+            self._stop_event.wait(self.interval_seconds)

@@ -58,7 +58,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Literal, Mapping, Sequence
 
 import numpy as np
@@ -83,6 +83,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "AnalyticsService",
+    "LatencyHistogram",
     "ServingStatistics",
     "StatementResult",
     "DegradationPolicy",
@@ -226,6 +227,96 @@ class CircuitBreaker:
                 self._opened_at = self._clock()
 
 
+#: Fixed bucket edges of :class:`LatencyHistogram`: eight log-spaced
+#: buckets per decade from 100 ns to 100 s.  The edges are a module-level
+#: constant, so every histogram shares the same bucketing and
+#: :meth:`LatencyHistogram.merge` is exact — merging two histograms gives
+#: byte-identical counts to recording both streams into one histogram.
+_LATENCY_EDGES = np.logspace(-7.0, 2.0, num=9 * 8 + 1)
+
+
+class LatencyHistogram:
+    """Fixed-bucket log-scale latency histogram with exact merge.
+
+    Latency *percentiles* cannot be kept as O(1) running aggregates the
+    way means and extrema can, and retaining raw per-statement latencies
+    grows without bound.  The standard compromise is a histogram over
+    *fixed* bucket boundaries (:data:`_LATENCY_EDGES`): recording is O(1),
+    memory is constant, a percentile is resolved to its bucket (relative
+    error bounded by the bucket ratio, ~33% with 8 buckets per decade) and
+    — because every histogram shares the same edges — merging per-table
+    histograms into a service-wide one is exact, never approximate.
+    """
+
+    __slots__ = ("counts",)
+
+    def __init__(self, counts: np.ndarray | None = None) -> None:
+        if counts is None:
+            counts = np.zeros(_LATENCY_EDGES.size + 1, dtype=np.int64)
+        else:
+            counts = np.asarray(counts, dtype=np.int64).copy()
+            if counts.shape != (_LATENCY_EDGES.size + 1,):
+                raise ConfigurationError(
+                    f"latency histogram needs {_LATENCY_EDGES.size + 1} bucket "
+                    f"counts, got shape {counts.shape}"
+                )
+        self.counts = counts
+
+    def record(self, seconds: float, count: int = 1) -> None:
+        """Add ``count`` observations of one latency value."""
+        if count <= 0:
+            return
+        index = int(np.searchsorted(_LATENCY_EDGES, seconds, side="left"))
+        self.counts[index] += count
+
+    def record_many(self, seconds: Sequence[float]) -> None:
+        """Add one observation per entry of a latency sequence."""
+        values = np.asarray(seconds, dtype=float)
+        if values.size == 0:
+            return
+        indices = np.searchsorted(_LATENCY_EDGES, values, side="left")
+        np.add.at(self.counts, indices, 1)
+
+    @property
+    def total_count(self) -> int:
+        """Number of recorded observations."""
+        return int(self.counts.sum())
+
+    def percentile(self, q: float) -> float:
+        """The latency at percentile ``q`` (0..100), 0.0 when empty.
+
+        Resolved to the recording bucket's geometric midpoint (edge value
+        for the underflow/overflow buckets), so the answer is within one
+        bucket ratio of the true order statistic.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
+        total = self.total_count
+        if total == 0:
+            return 0.0
+        rank = max(1, int(math.ceil(q / 100.0 * total)))
+        cumulative = np.cumsum(self.counts)
+        index = int(np.searchsorted(cumulative, rank, side="left"))
+        if index == 0:
+            return float(_LATENCY_EDGES[0])
+        if index >= _LATENCY_EDGES.size:
+            return float(_LATENCY_EDGES[-1])
+        return float(
+            math.sqrt(_LATENCY_EDGES[index - 1] * _LATENCY_EDGES[index])
+        )
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram in (exact: shared fixed bucket edges)."""
+        self.counts += other.counts
+
+    def copy(self) -> "LatencyHistogram":
+        """An independent copy (snapshots must not alias the counts)."""
+        return LatencyHistogram(self.counts)
+
+    def reset(self) -> None:
+        self.counts[:] = 0
+
+
 @dataclass
 class ServingStatistics:
     """Cumulative serving statistics of one table (or of the whole service).
@@ -240,6 +331,14 @@ class ServingStatistics:
     exception attached).  ``degraded_count`` counts statements served by a
     surviving tier after their preferred tier failed, and ``retry_count``
     counts transient-failure retries spent serving the stream.
+
+    The concurrent serving front adds three signals: ``cache_hits``
+    (statements answered from the version-keyed answer cache without
+    executing), the coalescing counters (``coalesced_batches`` — batches
+    merged from more than one submission, ``coalesce_width_sum`` /
+    ``max_coalesce_width`` — how many submissions each batch merged) and a
+    fixed-bucket :class:`LatencyHistogram` behind :attr:`p50_seconds` /
+    :attr:`p99_seconds` — fixed buckets keep :meth:`merge` exact.
     """
 
     statements_executed: int = 0
@@ -251,9 +350,14 @@ class ServingStatistics:
     error_count: int = 0
     degraded_count: int = 0
     retry_count: int = 0
+    cache_hits: int = 0
+    coalesced_batches: int = 0
+    coalesce_width_sum: int = 0
+    max_coalesce_width: int = 0
     total_seconds: float = 0.0
     min_statement_seconds: float = math.inf
     max_statement_seconds: float = 0.0
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     def record_batch(
         self,
@@ -266,12 +370,20 @@ class ServingStatistics:
         errors: int = 0,
         degraded: int = 0,
         retries: int = 0,
+        cache_hits: int = 0,
+        coalesce_width: int = 1,
         seconds: float = 0.0,
+        latency_seconds: "Sequence[float] | None" = None,
     ) -> None:
         """Add one statement group's counters.
 
         Per-statement latency extrema are the amortised share of the group
         wall-clock time, matching the engines' batched accounting.
+        ``coalesce_width`` is the number of separate submissions the group
+        merged (1 for an uncoalesced batch).  ``latency_seconds``
+        optionally supplies true per-statement latencies (the concurrent
+        front's enqueue-to-answer times) for the percentile histogram;
+        without it the amortised share is recorded ``count`` times.
         """
         if count <= 0:
             return
@@ -285,9 +397,18 @@ class ServingStatistics:
         self.error_count += errors
         self.degraded_count += degraded
         self.retry_count += retries
+        self.cache_hits += cache_hits
+        if coalesce_width > 1:
+            self.coalesced_batches += 1
+        self.coalesce_width_sum += coalesce_width
+        self.max_coalesce_width = max(self.max_coalesce_width, coalesce_width)
         self.total_seconds += seconds
         self.min_statement_seconds = min(self.min_statement_seconds, amortised)
         self.max_statement_seconds = max(self.max_statement_seconds, amortised)
+        if latency_seconds is not None:
+            self.latency.record_many(latency_seconds)
+        else:
+            self.latency.record(amortised, count)
 
     @property
     def fallback_rate(self) -> float:
@@ -322,6 +443,30 @@ class ServingStatistics:
         """Largest amortised per-statement latency seen (0 when unused)."""
         return self.max_statement_seconds
 
+    @property
+    def p50_seconds(self) -> float:
+        """Median per-statement latency from the histogram (0 when unused)."""
+        return self.latency.percentile(50.0)
+
+    @property
+    def p99_seconds(self) -> float:
+        """99th-percentile per-statement latency (0 when unused)."""
+        return self.latency.percentile(99.0)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of executed statements answered from the answer cache."""
+        if self.statements_executed == 0:
+            return 0.0
+        return self.cache_hits / self.statements_executed
+
+    @property
+    def mean_coalesce_width(self) -> float:
+        """Average submissions merged per batch (1.0 = no coalescing)."""
+        if self.batches_executed == 0:
+            return 0.0
+        return self.coalesce_width_sum / self.batches_executed
+
     def merge(self, other: "ServingStatistics") -> None:
         """Fold another statistics object into this one (counters add)."""
         self.statements_executed += other.statements_executed
@@ -333,6 +478,12 @@ class ServingStatistics:
         self.error_count += other.error_count
         self.degraded_count += other.degraded_count
         self.retry_count += other.retry_count
+        self.cache_hits += other.cache_hits
+        self.coalesced_batches += other.coalesced_batches
+        self.coalesce_width_sum += other.coalesce_width_sum
+        self.max_coalesce_width = max(
+            self.max_coalesce_width, other.max_coalesce_width
+        )
         self.total_seconds += other.total_seconds
         self.min_statement_seconds = min(
             self.min_statement_seconds, other.min_statement_seconds
@@ -340,10 +491,11 @@ class ServingStatistics:
         self.max_statement_seconds = max(
             self.max_statement_seconds, other.max_statement_seconds
         )
+        self.latency.merge(other.latency)
 
     def snapshot(self) -> "ServingStatistics":
         """A point-in-time copy (drift windows diff successive snapshots)."""
-        return replace(self)
+        return replace(self, latency=self.latency.copy())
 
     def reset(self) -> None:
         """Clear all counters."""
@@ -356,9 +508,14 @@ class ServingStatistics:
         self.error_count = 0
         self.degraded_count = 0
         self.retry_count = 0
+        self.cache_hits = 0
+        self.coalesced_batches = 0
+        self.coalesce_width_sum = 0
+        self.max_coalesce_width = 0
         self.total_seconds = 0.0
         self.min_statement_seconds = math.inf
         self.max_statement_seconds = 0.0
+        self.latency.reset()
 
 
 @dataclass(frozen=True)
@@ -396,6 +553,10 @@ class StatementResult:
     error:
         The exception that exhausted the statement's tiers (``None`` for
         successful answers).
+    cached:
+        ``True`` when the answer was served from the concurrent front's
+        version-keyed answer cache instead of executing (``source`` keeps
+        the source the cached execution originally answered from).
     """
 
     statement: ParsedStatement
@@ -404,6 +565,7 @@ class StatementResult:
     empty: bool = False
     degraded: bool = False
     error: BaseException | None = None
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -476,6 +638,7 @@ class AnalyticsService:
         self._engines: dict[str, object] = dict(engines or {})
         self._models: dict[str, object] = dict(models or {})
         self._model_versions: dict[str, object] = {}
+        self._registry_epochs: dict[str, int] = {}
         self._route = route
         self._policy = degradation or DegradationPolicy()
         self._hub = observers or ObserverHub()
@@ -495,6 +658,7 @@ class AnalyticsService:
         """Attach an exact engine under a table name."""
         with self._registry_lock:
             self._engines[table] = engine
+            self._registry_epochs[table] = self._registry_epochs.get(table, 0) + 1
 
     def register_model(self, table: str, model: object) -> None:
         """Attach a trained model under a table name (unversioned swap)."""
@@ -516,6 +680,7 @@ class AnalyticsService:
             previous = self._models.get(table)
             self._models[table] = model
             self._model_versions[table] = version
+            self._registry_epochs[table] = self._registry_epochs.get(table, 0) + 1
         self._hub.publish(
             "model.swapped",
             table,
@@ -528,6 +693,20 @@ class AnalyticsService:
         """The version marker of the serving model (``None`` if unversioned)."""
         with self._registry_lock:
             return self._model_versions.get(table)
+
+    def registry_epoch_for(self, table: str) -> int:
+        """A monotonic per-table counter bumped on *every* registry change.
+
+        Both :meth:`swap_model` (including unversioned swaps and rollbacks
+        that restore a previously-seen version marker) and
+        :meth:`register_engine` advance the epoch, so ``epoch unchanged``
+        is a sound "no engine or model changed in between" witness — the
+        concurrent front's answer cache keys on it, which is what makes a
+        cached answer provably never stale across hot-swap / rollback
+        races (a version marker alone can repeat; the epoch cannot).
+        """
+        with self._registry_lock:
+            return self._registry_epochs.get(table, 0)
 
     def register_model_from_file(self, table: str, path: object) -> object:
         """Load a persisted model (:func:`~repro.core.persistence.load_model`)
@@ -689,6 +868,15 @@ class AnalyticsService:
 
     def _statement_query(self, statement: ParsedStatement) -> Query:
         return statement.to_query(self.resolve_norm_order(statement.table))
+
+    def query_for(self, statement: ParsedStatement) -> Query:
+        """The fully-resolved :class:`~repro.queries.query.Query` of a statement.
+
+        Applies the per-table norm resolution (an explicit ``NORM p``
+        clause wins, then the registered model's geometry, then Euclidean)
+        — the canonical query the statement is executed and cached under.
+        """
+        return self._statement_query(statement)
 
     # ------------------------------------------------------------------ #
     # execution

@@ -175,7 +175,12 @@ class AnalyticsSession:
     per-table exact engines and trained models, shared batched execution
     paths, and serving statistics.  Multiple sessions can share one service
     (pass ``service=``), which is how a deployment serves many users from a
-    single registry of trained models.
+    single registry of trained models.  The shared backend may equally be a
+    :class:`~repro.dbms.concurrent.ConcurrentAnalyticsService` — the façade
+    only relies on the common ``execute`` / ``execute_script`` / registry
+    surface, so sessions attach to the coalescing, caching concurrent
+    front interchangeably (that is the intended many-users topology: one
+    front, one session per user, statements coalescing across them).
 
     Parameters
     ----------
@@ -186,9 +191,10 @@ class AnalyticsSession:
         Mapping of table name to trained LLM model (``predict_mean_batch``
         / ``predict_q2_batch`` interface); used by model-side execution.
     service:
-        An existing :class:`~repro.dbms.serving.AnalyticsService` to attach
-        to instead of building a private one (mutually exclusive with
-        ``engines`` / ``models``).
+        An existing :class:`~repro.dbms.serving.AnalyticsService` (or
+        :class:`~repro.dbms.concurrent.ConcurrentAnalyticsService`) to
+        attach to instead of building a private one (mutually exclusive
+        with ``engines`` / ``models``).
     """
 
     def __init__(

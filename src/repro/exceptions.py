@@ -68,6 +68,24 @@ class ServingTimeoutError(TransientEngineError):
     """A served statement group exceeded its per-group execution timeout."""
 
 
+class ServiceOverloadedError(ReproError):
+    """The concurrent serving front rejected new work (admission control).
+
+    Raised instead of queueing without bound: when the number of pending
+    statements would exceed the front's
+    :attr:`~repro.dbms.concurrent.ConcurrencyPolicy.max_pending_statements`,
+    the submission is rejected up front so latency stays bounded for the
+    work already admitted.  ``pending`` carries the in-flight statement
+    count at rejection time and ``limit`` the configured bound; the caller
+    is expected to back off and retry.
+    """
+
+    def __init__(self, message: str, *, pending: int = 0, limit: int = 0) -> None:
+        super().__init__(message)
+        self.pending = pending
+        self.limit = limit
+
+
 class CircuitOpenError(ReproError):
     """An execution tier's circuit breaker is open (the tier is shed).
 

@@ -1,0 +1,444 @@
+"""Tests for the concurrent serving front (`repro.dbms.concurrent`)."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig, TrainingConfig
+from repro.core.model import LLMModel
+from repro.data.synthetic import SyntheticDataset
+from repro.dbms.concurrent import (
+    AnswerCache,
+    ConcurrencyPolicy,
+    ConcurrentAnalyticsService,
+)
+from repro.dbms.executor import ExactQueryEngine
+from repro.dbms.serving import AnalyticsService
+from repro.dbms.sqlfront import AnalyticsSession
+from repro.exceptions import (
+    ConfigurationError,
+    EmptySubspaceError,
+    InjectedFaultError,
+    ServiceOverloadedError,
+    SQLSyntaxError,
+)
+from repro.testing.faults import FaultInjector
+
+TABLE = "sensors"
+OTHER = "turbines"
+
+
+def _dataset(name: str, size: int = 3_000, seed: int = 0) -> SyntheticDataset:
+    rng = np.random.default_rng(seed)
+    inputs = rng.uniform(0, 1, size=(size, 2))
+    outputs = 1.0 + inputs[:, 0] + 2.0 * inputs[:, 1]
+    return SyntheticDataset(
+        inputs=inputs, outputs=outputs, name=name, domain=(0.0, 1.0)
+    )
+
+
+def _train_model(engine: ExactQueryEngine, count: int = 250) -> LLMModel:
+    from repro.queries.stream import LabelledWorkload
+    from repro.queries.workload import (
+        QueryWorkloadGenerator,
+        RadiusDistribution,
+        WorkloadSpec,
+    )
+
+    spec = WorkloadSpec(
+        dimension=2,
+        center_low=0.0,
+        center_high=1.0,
+        radius=RadiusDistribution(mean=0.1, std=0.02),
+        norm_order=2.0,
+    )
+    queries = QueryWorkloadGenerator(spec, seed=1).generate(count)
+    workload = LabelledWorkload.from_queries(queries, engine.mean_value)
+    model = LLMModel(
+        dimension=2,
+        config=ModelConfig(quantization_coefficient=0.15, norm_order=2.0),
+        training=TrainingConfig(convergence_threshold=1e-4),
+    )
+    model.fit(workload)
+    return model
+
+
+@pytest.fixture(scope="module")
+def engine() -> ExactQueryEngine:
+    return ExactQueryEngine(_dataset(TABLE))
+
+
+@pytest.fixture(scope="module")
+def other_engine() -> ExactQueryEngine:
+    return ExactQueryEngine(_dataset(OTHER, seed=7))
+
+
+@pytest.fixture(scope="module")
+def model(engine) -> LLMModel:
+    return _train_model(engine)
+
+
+def _inner(engine, model) -> AnalyticsService:
+    return AnalyticsService({TABLE: engine}, {TABLE: model})
+
+
+def _script(count: int = 6) -> list[str]:
+    return [
+        f"SELECT AVG(u) FROM {TABLE} WITHIN 0.12 OF "
+        f"({0.1 + 0.07 * i:.3f}, {0.15 + 0.06 * i:.3f})"
+        for i in range(count)
+    ] + [f"SELECT COUNT(*) FROM {TABLE} WITHIN 0.2 OF (0.5, 0.5)"]
+
+
+class TestConcurrencyPolicy:
+    def test_defaults_are_valid(self):
+        policy = ConcurrencyPolicy()
+        assert policy.max_workers >= 1
+        assert 0.0 < policy.coalesce_window_seconds <= 0.005
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_workers": 0},
+            {"max_pending_statements": 0},
+            {"coalesce_window_seconds": -0.001},
+            {"max_batch_statements": 0},
+            {"cache_capacity": -1},
+            {"cache_ttl_seconds": 0.0},
+            {"cache_ttl_seconds": -5.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ConcurrencyPolicy(**kwargs)
+
+
+class TestAnswerCache:
+    def test_lru_eviction_order(self):
+        cache = AnswerCache(capacity=2)
+        cache.put(("t", 1), "a")
+        cache.put(("t", 2), "b")
+        assert cache.get(("t", 1)) == "a"  # touch: 1 becomes MRU
+        cache.put(("t", 3), "c")  # evicts 2, the LRU
+        assert cache.get(("t", 2)) is None
+        assert cache.get(("t", 1)) == "a"
+        assert cache.get(("t", 3)) == "c"
+        assert cache.evictions == 1
+
+    def test_ttl_expiry_with_injected_clock(self):
+        now = [0.0]
+        cache = AnswerCache(capacity=8, ttl_seconds=1.0, clock=lambda: now[0])
+        cache.put(("t", 1), "a")
+        assert cache.get(("t", 1)) == "a"
+        now[0] = 0.999
+        assert cache.get(("t", 1)) == "a"
+        now[0] = 1.0
+        assert cache.get(("t", 1)) is None  # expired exactly at the TTL
+        assert len(cache) == 0
+
+    def test_invalidate_single_table_and_all(self):
+        cache = AnswerCache(capacity=8)
+        cache.put(("a", 1), "x")
+        cache.put(("a", 2), "y")
+        cache.put(("b", 1), "z")
+        assert cache.invalidate("a") == 2
+        assert cache.get(("b", 1)) == "z"
+        assert cache.invalidate() == 1
+        assert len(cache) == 0
+        assert cache.invalidations == 3
+
+    def test_hit_miss_counters(self):
+        cache = AnswerCache(capacity=2)
+        assert cache.get(("t", 1)) is None
+        cache.put(("t", 1), "a")
+        cache.get(("t", 1))
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnswerCache(capacity=0)
+
+
+class TestEquivalence:
+    """Coalesced / concurrent answers are bit-equal to sequential serving."""
+
+    @pytest.mark.parametrize("mode", ["exact", "model", "hybrid"])
+    def test_bit_equal_to_sequential_service(self, engine, model, mode):
+        sequential = _inner(engine, model)
+        front = ConcurrentAnalyticsService(_inner(engine, model))
+        try:
+            # COUNT(*) requires exact execution, so drop it in model mode.
+            script = _script()[:-1] if mode == "model" else _script()
+            reference = sequential.execute_script(script, mode=mode)
+            served = front.execute_script(script, mode=mode)
+            for got, want in zip(served, reference):
+                assert got.value == want.value  # bit-equal, not approx
+                assert got.source == want.source
+                assert got.empty == want.empty
+        finally:
+            front.close()
+            sequential.close()
+
+    def test_concurrent_submissions_coalesce_and_stay_correct(
+        self, engine, model
+    ):
+        sequential = _inner(engine, model)
+        front = ConcurrentAnalyticsService(
+            _inner(engine, model),
+            policy=ConcurrencyPolicy(coalesce_window_seconds=0.005),
+        )
+        try:
+            script = _script()
+            reference = sequential.execute_script(script)
+            barrier = threading.Barrier(4)
+            outputs: list = [None] * 4
+
+            def run(i: int) -> None:
+                barrier.wait()
+                outputs[i] = front.execute_script(script)
+
+            threads = [
+                threading.Thread(target=run, args=(i,)) for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for served in outputs:
+                for got, want in zip(served, reference):
+                    assert got.value == want.value
+            stats = front.statistics_for(TABLE)
+            assert stats.max_coalesce_width >= 2  # sessions actually merged
+            assert stats.coalesced_batches >= 1
+            assert stats.p99_seconds > 0.0
+        finally:
+            front.close()
+            sequential.close()
+
+    def test_single_statement_execute_contract(self, engine, model):
+        with ConcurrentAnalyticsService(_inner(engine, model)) as front:
+            value = front.execute(
+                f"SELECT AVG(u) FROM {TABLE} WITHIN 0.15 OF (0.4, 0.4)",
+                mode="exact",
+            )
+            assert isinstance(value, float)
+            with pytest.raises(EmptySubspaceError):
+                front.execute(
+                    f"SELECT AVG(u) FROM {TABLE} WITHIN 0.001 OF (9.0, 9.0)",
+                    mode="exact",
+                )
+            # COUNT over an empty subspace is defined (0), never raises.
+            assert (
+                front.execute(
+                    f"SELECT COUNT(*) FROM {TABLE} WITHIN 0.001 OF (9.0, 9.0)"
+                )
+                == 0
+            )
+
+    def test_parse_and_mode_errors_raise_synchronously(self, engine, model):
+        with ConcurrentAnalyticsService(_inner(engine, model)) as front:
+            with pytest.raises(SQLSyntaxError):
+                front.submit_script(["SELECT nonsense"])
+            with pytest.raises(SQLSyntaxError):
+                front.submit_script(_script(1), mode="turbo")
+            with pytest.raises(ConfigurationError):
+                front.submit_script(_script(1), on_error="explode")
+
+    def test_closed_front_rejects_submissions(self, engine, model):
+        front = ConcurrentAnalyticsService(_inner(engine, model))
+        front.close()
+        with pytest.raises(ConfigurationError):
+            front.submit_script(_script(1))
+
+
+class TestAnswerCacheIntegration:
+    def test_repeat_traffic_hits_cache_and_skips_execution(
+        self, engine, model
+    ):
+        with ConcurrentAnalyticsService(_inner(engine, model)) as front:
+            script = _script()
+            first = front.execute_script(script)
+            assert not any(r.cached for r in first)
+            executed_before = front.service.statistics_for(
+                TABLE
+            ).statements_executed
+            second = front.execute_script(script)
+            assert all(r.cached for r in second)
+            for got, want in zip(second, first):
+                assert got.value == want.value
+                assert got.source == want.source  # original source preserved
+            # Cache hits never reach the inner service (or its statistics,
+            # which is what drift detection reads).
+            assert (
+                front.service.statistics_for(TABLE).statements_executed
+                == executed_before
+            )
+            stats = front.statistics_for(TABLE)
+            assert stats.cache_hits == len(script)
+            assert stats.cache_hit_rate > 0.0
+
+    def test_swap_invalidates_cached_answers(self, engine, model):
+        with ConcurrentAnalyticsService(_inner(engine, model)) as front:
+            script = _script()
+            front.execute_script(script)
+            assert all(r.cached for r in front.execute_script(script))
+            front.swap_model(TABLE, model, version="v2")
+            assert len(front.cache) == 0  # eager invalidation on the event
+            after = front.execute_script(script)
+            assert not any(r.cached for r in after)
+
+    def test_cache_disabled_by_policy(self, engine, model):
+        with ConcurrentAnalyticsService(
+            _inner(engine, model),
+            policy=ConcurrencyPolicy(cache_capacity=0),
+        ) as front:
+            assert front.cache is None
+            script = _script(2)
+            front.execute_script(script)
+            assert not any(r.cached for r in front.execute_script(script))
+
+    def test_distinct_modes_cached_separately(self, engine, model):
+        with ConcurrentAnalyticsService(_inner(engine, model)) as front:
+            script = _script(2)[:-1]  # COUNT(*) is exact-only
+            front.execute_script(script, mode="exact")
+            served = front.execute_script(script, mode="model")
+            # A model-mode lookup must not hit the exact-mode entry.
+            assert not any(r.cached for r in served)
+
+
+class TestAdmissionControl:
+    def test_overload_rejects_whole_script(self, engine, model):
+        injector = FaultInjector()
+        from repro.testing.faults import FaultyEngine
+
+        slow = FaultyEngine(engine, injector, name=TABLE)
+        injector.arm(
+            f"{TABLE}.q1_batch", error=None, delay_seconds=0.2, times=None
+        )
+        front = ConcurrentAnalyticsService(
+            AnalyticsService({TABLE: slow}, {TABLE: model}),
+            policy=ConcurrencyPolicy(
+                max_pending_statements=4,
+                coalesce_window_seconds=0.0,
+                cache_capacity=0,
+            ),
+        )
+        try:
+            first = front.submit_script(_script(3), mode="exact")
+            with pytest.raises(ServiceOverloadedError) as excinfo:
+                front.submit_script(_script(3), mode="exact")
+            assert excinfo.value.limit == 4
+            assert excinfo.value.pending >= 1
+            # The admitted script still completes normally.
+            results = first.result(timeout=10.0)
+            assert all(r.ok for r in results)
+            assert front.pending_statements == 0
+        finally:
+            front.close()
+
+    def test_pending_count_returns_to_zero(self, engine, model):
+        with ConcurrentAnalyticsService(_inner(engine, model)) as front:
+            front.execute_script(_script())
+            assert front.pending_statements == 0
+
+
+class TestFaultContainment:
+    def test_mid_batch_failure_contained_to_its_group(
+        self, engine, other_engine, model
+    ):
+        injector = FaultInjector()
+        inner = AnalyticsService(
+            {TABLE: engine, OTHER: other_engine}, {TABLE: model}
+        )
+        front = ConcurrentAnalyticsService(
+            inner,
+            policy=ConcurrencyPolicy(
+                coalesce_window_seconds=0.005, cache_capacity=0
+            ),
+            injector=injector,
+        )
+        try:
+            injector.arm(
+                f"concurrent.flush.{TABLE}", error=InjectedFaultError, times=1
+            )
+            sensors = [
+                f"SELECT AVG(u) FROM {TABLE} WITHIN 0.15 OF (0.3, 0.3)",
+                f"SELECT AVG(u) FROM {TABLE} WITHIN 0.15 OF (0.6, 0.6)",
+            ]
+            turbines = [
+                f"SELECT AVG(u) FROM {OTHER} WITHIN 0.15 OF (0.3, 0.3)",
+                f"SELECT COUNT(*) FROM {OTHER} WITHIN 0.2 OF (0.5, 0.5)",
+            ]
+            barrier = threading.Barrier(2)
+            outputs: dict[str, list] = {}
+
+            def run(name: str, script: list[str]) -> None:
+                barrier.wait()
+                outputs[name] = front.execute_script(script, mode="exact")
+
+            threads = [
+                threading.Thread(target=run, args=("sensors", sensors)),
+                threading.Thread(target=run, args=("turbines", turbines)),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            # The armed fault killed the sensors flush: every statement of
+            # that group answers with an attached error...
+            assert all(
+                r.source == "error"
+                and isinstance(r.error, InjectedFaultError)
+                for r in outputs["sensors"]
+            )
+            # ...while the co-batched other-table statements are untouched.
+            assert all(r.ok for r in outputs["turbines"])
+            assert front.pending_statements == 0
+            # Containment is accounted, not swallowed.
+            assert front.statistics_for(TABLE).error_count == len(sensors)
+            assert front.statistics_for(OTHER).error_count == 0
+        finally:
+            front.close()
+
+    def test_flush_errors_never_cached(self, engine, model):
+        injector = FaultInjector()
+        front = ConcurrentAnalyticsService(
+            _inner(engine, model), injector=injector
+        )
+        try:
+            injector.arm("concurrent.flush", error=InjectedFaultError, times=1)
+            script = _script(2)[:-1]  # one q1 group: the fault hits all of it
+            failed = front.execute_script(script)
+            assert all(r.source == "error" for r in failed)
+            assert len(front.cache) == 0
+            retried = front.execute_script(script)
+            assert all(r.ok and not r.cached for r in retried)
+        finally:
+            front.close()
+
+
+class TestSessionFacade:
+    def test_session_attaches_to_concurrent_front(self, engine, model):
+        with ConcurrentAnalyticsService(_inner(engine, model)) as front:
+            session = AnalyticsSession(service=front)
+            assert TABLE in session.tables
+            value = session.execute(
+                f"SELECT AVG(u) FROM {TABLE} WITHIN 0.15 OF (0.4, 0.4)"
+            )
+            assert isinstance(value, float)
+            results = session.execute_script(_script(3), mode="hybrid")
+            assert all(r.ok for r in results)
+            # Two sessions over one front share its answer cache.
+            other = AnalyticsSession(service=front)
+            again = other.execute_script(_script(3), mode="hybrid")
+            assert all(r.cached for r in again)
+
+    def test_front_registry_delegation(self, engine, model):
+        with ConcurrentAnalyticsService() as front:
+            front.register_engine(TABLE, engine)
+            front.register_model(TABLE, model)
+            assert front.tables == [TABLE]
+            assert front.service.engine_for(TABLE) is engine

@@ -194,48 +194,12 @@ class TestStatistics:
         assert used.min_seconds == pytest.approx(0.02)
         assert used.max_seconds == pytest.approx(0.02)
 
-    def test_per_query_seconds_deprecated(self):
+    def test_per_query_seconds_removed(self):
+        # The deprecated raw-latency accessor (warning shipped two releases
+        # ago) is gone for good; the O(1) aggregates are the only surface.
         stats = ExecutionStatistics()
         stats.record(10, 5, 0.01)
-        stats.record(10, 5, 0.03)
-        with pytest.warns(DeprecationWarning):
-            synthesised = stats.per_query_seconds
-        assert len(synthesised) == 2
-        assert sum(synthesised) == pytest.approx(stats.total_seconds)
-
-    def test_per_query_seconds_empty_engine(self):
-        # An untouched engine synthesises an empty list (len contract: one
-        # entry per executed query), still warning about the deprecation.
-        stats = ExecutionStatistics()
-        with pytest.warns(DeprecationWarning):
-            synthesised = stats.per_query_seconds
-        assert synthesised == []
-
-    def test_per_query_seconds_single_query(self):
-        # With exactly one recorded query the synthesised list degenerates
-        # to the true latency, not just the mean of several.
-        stats = ExecutionStatistics()
-        stats.record(100, 7, 0.25)
-        with pytest.warns(DeprecationWarning):
-            synthesised = stats.per_query_seconds
-        assert synthesised == [0.25]
-
-    def test_per_query_seconds_after_batch_merge(self):
-        # Batched recordings amortise their wall-clock across the batch;
-        # the synthesised list must keep the len/sum/mean contracts after
-        # single and batched recordings are merged into one aggregate.
-        stats = ExecutionStatistics()
-        stats.record(10, 5, 0.02)
-        stats.record_batch(4, 40, 20, 0.08)
-        with pytest.warns(DeprecationWarning):
-            synthesised = stats.per_query_seconds
-        assert len(synthesised) == stats.queries_executed == 5
-        assert sum(synthesised) == pytest.approx(stats.total_seconds)
-        assert synthesised == [pytest.approx(stats.mean_seconds)] * 5
-        # An empty batch records nothing and leaves the synthesis unchanged.
-        stats.record_batch(0, 0, 0, 1.0)
-        with pytest.warns(DeprecationWarning):
-            assert len(stats.per_query_seconds) == 5
+        assert not hasattr(stats, "per_query_seconds")
 
     def test_empty_statistics_read_as_zero(self):
         stats = ExecutionStatistics()

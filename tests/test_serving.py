@@ -514,3 +514,117 @@ class TestExperimentContextHelper:
             mode="hybrid",
         )
         assert np.isfinite(value)
+
+
+# --------------------------------------------------------------------- #
+# latency histogram + concurrency counters
+# --------------------------------------------------------------------- #
+class TestLatencyHistogram:
+    def test_empty_percentile_is_zero(self):
+        from repro.dbms.serving import LatencyHistogram
+
+        hist = LatencyHistogram()
+        assert hist.total_count == 0
+        assert hist.percentile(50) == 0.0
+        assert hist.percentile(99) == 0.0
+
+    def test_percentile_bounds_validated(self):
+        from repro.dbms.serving import LatencyHistogram
+
+        hist = LatencyHistogram()
+        with pytest.raises(ConfigurationError):
+            hist.percentile(-1)
+        with pytest.raises(ConfigurationError):
+            hist.percentile(100.5)
+
+    def test_percentile_within_bucket_resolution(self):
+        from repro.dbms.serving import LatencyHistogram
+
+        hist = LatencyHistogram()
+        for _ in range(99):
+            hist.record(1e-4)
+        hist.record(1e-1)
+        # 8 buckets/decade: the midpoint estimate is within ~35% of truth.
+        assert hist.percentile(50) == pytest.approx(1e-4, rel=0.35)
+        assert hist.percentile(100) == pytest.approx(1e-1, rel=0.35)
+        # Monotone in q.
+        assert hist.percentile(99) <= hist.percentile(100)
+
+    def test_merge_is_exact(self):
+        from repro.dbms.serving import LatencyHistogram
+
+        left, right, together = (
+            LatencyHistogram(),
+            LatencyHistogram(),
+            LatencyHistogram(),
+        )
+        samples_left = [1e-5, 3e-4, 2e-3, 5e-2]
+        samples_right = [7e-6, 4e-3, 0.5, 2.0]
+        left.record_many(samples_left)
+        right.record_many(samples_right)
+        together.record_many(samples_left + samples_right)
+        left.merge(right)
+        assert np.array_equal(left.counts, together.counts)
+        for q in (50, 90, 99):
+            assert left.percentile(q) == together.percentile(q)
+
+    def test_under_and_overflow_buckets(self):
+        from repro.dbms.serving import LatencyHistogram, _LATENCY_EDGES
+
+        hist = LatencyHistogram()
+        hist.record(1e-9)  # below the first edge
+        assert hist.percentile(50) == _LATENCY_EDGES[0]
+        hist.reset()
+        hist.record(1e5)  # above the last edge
+        assert hist.percentile(50) == _LATENCY_EDGES[-1]
+
+    def test_copy_is_independent(self):
+        from repro.dbms.serving import LatencyHistogram
+
+        hist = LatencyHistogram()
+        hist.record(0.01)
+        frozen = hist.copy()
+        hist.record(0.01, count=10)
+        assert frozen.total_count == 1
+        assert hist.total_count == 11
+
+
+class TestConcurrencyCounters:
+    def test_record_batch_tracks_coalescing_and_cache(self):
+        stats = ServingStatistics()
+        stats.record_batch(10, seconds=0.01, coalesce_width=4)
+        stats.record_batch(5, seconds=0.01, coalesce_width=1)
+        stats.record_batch(3, seconds=0.0, cache_hits=3)
+        assert stats.coalesced_batches == 1  # only width > 1 counts
+        assert stats.max_coalesce_width == 4
+        assert stats.mean_coalesce_width == pytest.approx(2.0)
+        assert stats.cache_hits == 3
+        assert stats.cache_hit_rate == pytest.approx(3 / 18)
+
+    def test_latency_seconds_overrides_amortised_recording(self):
+        stats = ServingStatistics()
+        stats.record_batch(
+            2, seconds=1.0, latency_seconds=[0.001, 0.001]
+        )
+        # The histogram saw the true per-statement latencies (~1 ms), not
+        # the amortised 0.5 s share of the batch wall-clock.
+        assert stats.p99_seconds < 0.01
+
+    def test_merge_and_snapshot_cover_new_fields(self):
+        first = ServingStatistics()
+        second = ServingStatistics()
+        first.record_batch(4, seconds=0.01, coalesce_width=2, cache_hits=1)
+        second.record_batch(6, seconds=0.02, coalesce_width=3, cache_hits=2)
+        frozen = first.snapshot()
+        first.merge(second)
+        assert first.cache_hits == 3
+        assert first.coalesced_batches == 2
+        assert first.coalesce_width_sum == 5
+        assert first.max_coalesce_width == 3
+        assert first.latency.total_count == 10
+        # The earlier snapshot is fully independent (histogram included).
+        assert frozen.cache_hits == 1
+        assert frozen.latency.total_count == 4
+        first.reset()
+        assert first.latency.total_count == 0
+        assert first.max_coalesce_width == 0
