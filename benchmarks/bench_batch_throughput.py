@@ -15,21 +15,19 @@ and asserts the headline requirements: **>= 10x** Q1 prediction throughput
 and **>= 4x** exact Q2 throughput at batch size 1,000 (the measured exact-Q2
 speedup on the reference container is ~5x; the gate leaves noise margin).
 
-The results are written to ``BENCH_batch.json`` so CI runs accumulate a
-performance trajectory.  Run standalone with::
+Results are emitted through the ``repro.bench`` harness: a
+:class:`~repro.bench.RunRecord` appended to the JSONL results store plus
+one ``BENCH_batch.json`` artifact.  Run standalone with::
 
     PYTHONPATH=src python benchmarks/bench_batch_throughput.py [--smoke]
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import time
-from pathlib import Path
-
 import numpy as np
 
+from repro.bench import BenchmarkSpec
+from repro.bench.cli import pytest_entry, script_main
 from repro.eval.experiments import build_context
 from repro.eval.timing import measure_throughput
 
@@ -210,7 +208,6 @@ def run_batch_throughput(
         },
         "required_speedup": REQUIRED_SPEEDUP,
         "required_exact_q2_speedup": REQUIRED_EXACT_Q2_SPEEDUP,
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
 
 
@@ -269,48 +266,65 @@ def _check(result: dict) -> list[str]:
     return failures
 
 
+def _extract(result: dict) -> dict:
+    return {
+        "q1_loop_qps": result["q1_prediction"]["loop_qps"],
+        "q1_batch_qps": result["q1_prediction"]["batch_qps"],
+        "q1_speedup": result["q1_prediction"]["speedup"],
+        "q2_batch_qps": result["q2_prediction"]["batch_qps"],
+        "value_batch_qps": result["value_prediction"]["batch_qps"],
+        "exact_q1_batch_qps": result["exact_q1_execution"]["batch_qps"],
+        "exact_q2_batch_qps": result["exact_q2_execution"]["batch_qps"],
+        "exact_q2_speedup": result["exact_q2_execution"]["speedup"],
+        "q1_max_deviation": result["q1_prediction"]["max_abs_deviation"],
+        "exact_q2_max_deviation": result["exact_q2_execution"]["max_abs_deviation"],
+        "value_max_deviation": result["value_prediction"]["max_abs_deviation"],
+    }
+
+
+SPEC = BenchmarkSpec(
+    name="batch_throughput",
+    title="Batch query-processing throughput (Fig-12 setup)",
+    artifact="batch",
+    run=run_batch_throughput,
+    metrics={
+        "q1_loop_qps": "info",
+        "q1_batch_qps": "higher",
+        "q1_speedup": "higher",
+        "q2_batch_qps": "higher",
+        "value_batch_qps": "higher",
+        "exact_q1_batch_qps": "higher",
+        "exact_q2_batch_qps": "higher",
+        "exact_q2_speedup": "higher",
+        "q1_max_deviation": "info",
+        "exact_q2_max_deviation": "info",
+        "value_max_deviation": "info",
+    },
+    extract=_extract,
+    check=lambda result, params: _check(result),
+    format=_format,
+    default_params={
+        "batch_size": 1_000,
+        "dataset_size": 40_000,
+        "training_queries": 1_200,
+        "dataset_name": "R2",
+        "dimension": 2,
+        "repetitions": 3,
+        "exact_queries": None,
+        "seed": 7,
+    },
+    smoke_params={
+        "dataset_size": 10_000,
+        "training_queries": 600,
+        "exact_queries": 400,
+    },
+)
+
+
 def test_batch_throughput(results_dir, record_table):
     """Benchmark-suite entry point: asserts the headline requirements."""
-    result = run_batch_throughput()
-    record_table("bench_batch_throughput", _format(result))
-    (results_dir / "BENCH_batch.json").write_text(
-        json.dumps(result, indent=2) + "\n", encoding="utf-8"
-    )
-    failures = _check(result)
-    assert not failures, "; ".join(failures)
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="small, fast configuration for CI smoke runs",
-    )
-    parser.add_argument(
-        "--output",
-        type=Path,
-        default=Path("BENCH_batch.json"),
-        help="where to write the JSON results (default: ./BENCH_batch.json)",
-    )
-    args = parser.parse_args()
-    if args.smoke:
-        result = run_batch_throughput(
-            batch_size=1_000,
-            dataset_size=10_000,
-            training_queries=600,
-            exact_queries=400,
-        )
-    else:
-        result = run_batch_throughput()
-    print(_format(result))
-    args.output.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
-    print(f"\nwrote {args.output}")
-    failures = _check(result)
-    for failure in failures:
-        print(f"FAIL: {failure}")
-    return 1 if failures else 0
+    pytest_entry(SPEC, results_dir, record_table)
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(script_main(SPEC))

@@ -27,22 +27,22 @@ deployments and asserts the recovery gates:
 * every statement of every round answers (no errors, no crashes), and
   no session is ever restarted.
 
-Results are written to ``BENCH_lifecycle.json`` so CI runs accumulate a
-recovery trajectory.  Run standalone with::
+Results are emitted through the ``repro.bench`` harness: a
+:class:`~repro.bench.RunRecord` appended to the JSONL results store plus
+one ``BENCH_lifecycle.json`` artifact.  Run standalone with::
 
     PYTHONPATH=src python benchmarks/bench_lifecycle.py [--smoke]
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import tempfile
-import time
 from pathlib import Path
 
 import numpy as np
 
+from repro.bench import BenchmarkSpec
+from repro.bench.cli import pytest_entry, script_main
 from repro.config import ModelConfig, TrainingConfig
 from repro.core.model import LLMModel
 from repro.data.functions import DriftingFunction, SineRidge
@@ -251,7 +251,6 @@ def run_lifecycle_benchmark(
             "recovery_factor": RECOVERY_FACTOR,
             "recovery_slack": RECOVERY_SLACK,
             "degraded_floor": DEGRADED_FLOOR,
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         }
 
 
@@ -312,50 +311,66 @@ def _check(result: dict) -> list[str]:
     return failures
 
 
+def _extract(result: dict) -> dict:
+    managed_errors = sum(m["errors"] for m in result["series"]["managed"])
+    unmanaged_errors = sum(m["errors"] for m in result["series"]["unmanaged"])
+    return {
+        "pre_drift_fallback_rate": result["pre_drift_fallback_rate"],
+        "managed_final_fallback_rate": result["managed_final"]["fallback_rate"],
+        "managed_final_rmse": result["managed_final"]["rmse"],
+        "unmanaged_final_fallback_rate": result["unmanaged_final"][
+            "fallback_rate"
+        ],
+        "unmanaged_final_rmse": result["unmanaged_final"]["rmse"],
+        "retrain_count": float(result["retrain_count"]),
+        "rollback_count": float(result["rollback_count"]),
+        "error_answers": float(managed_errors + unmanaged_errors),
+    }
+
+
+SPEC = BenchmarkSpec(
+    name="lifecycle",
+    title="Model lifecycle under drift (managed vs unmanaged)",
+    artifact="lifecycle",
+    run=run_lifecycle_benchmark,
+    # The scenario is fully seeded and served on a deterministic tick
+    # clock, so the recovery rates are stable enough to gate both ways.
+    metrics={
+        "pre_drift_fallback_rate": "info",
+        "managed_final_fallback_rate": "lower",
+        "managed_final_rmse": "lower",
+        "unmanaged_final_fallback_rate": "info",
+        "unmanaged_final_rmse": "info",
+        "retrain_count": "info",
+        "rollback_count": "info",
+        "error_answers": "info",
+    },
+    extract=_extract,
+    check=lambda result, params: _check(result),
+    format=_format,
+    default_params={
+        "dataset_size": 4_000,
+        "append_size": 2_000,
+        "training_queries": 220,
+        "traffic_per_round": 80,
+        "rounds_pre": 2,
+        "rounds_post": 5,
+        "seed": 42,
+    },
+    smoke_params={
+        "dataset_size": 2_500,
+        "append_size": 1_200,
+        "training_queries": 150,
+        "traffic_per_round": 60,
+        "rounds_post": 3,
+    },
+)
+
+
 def test_lifecycle_benchmark(results_dir, record_table):
     """Benchmark-suite entry point: asserts the recovery gates."""
-    result = run_lifecycle_benchmark()
-    record_table("bench_lifecycle", _format(result))
-    (results_dir / "BENCH_lifecycle.json").write_text(
-        json.dumps(result, indent=2) + "\n", encoding="utf-8"
-    )
-    failures = _check(result)
-    assert not failures, "; ".join(failures)
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="small, fast configuration for CI smoke runs",
-    )
-    parser.add_argument(
-        "--output",
-        type=Path,
-        default=Path("BENCH_lifecycle.json"),
-        help="where to write the JSON results (default: ./BENCH_lifecycle.json)",
-    )
-    args = parser.parse_args()
-    if args.smoke:
-        result = run_lifecycle_benchmark(
-            dataset_size=2_500,
-            append_size=1_200,
-            training_queries=150,
-            traffic_per_round=60,
-            rounds_pre=2,
-            rounds_post=3,
-        )
-    else:
-        result = run_lifecycle_benchmark()
-    print(_format(result))
-    args.output.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
-    print(f"\nwrote {args.output}")
-    failures = _check(result)
-    for failure in failures:
-        print(f"FAIL: {failure}")
-    return 1 if failures else 0
+    pytest_entry(SPEC, results_dir, record_table)
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(script_main(SPEC))

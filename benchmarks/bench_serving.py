@@ -20,21 +20,19 @@ Headline requirements asserted here:
   reports a strictly positive fallback rate, with fallback answers again
   equal to exact.
 
-Results are written to ``BENCH_serving.json`` so CI runs accumulate a
-performance trajectory.  Run standalone with::
+Results are emitted through the ``repro.bench`` harness: a
+:class:`~repro.bench.RunRecord` appended to the JSONL results store plus
+one ``BENCH_serving.json`` artifact.  Run standalone with::
 
     PYTHONPATH=src python benchmarks/bench_serving.py [--smoke]
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import time
-from pathlib import Path
-
 import numpy as np
 
+from repro.bench import BenchmarkSpec
+from repro.bench.cli import pytest_entry, script_main
 from repro.config import ModelConfig, TrainingConfig
 from repro.core.model import LLMModel
 from repro.dbms.sqlfront import parse_statement
@@ -250,6 +248,7 @@ def run_serving_benchmark(
             "fallback_count": serving_statistics.fallback_count,
             "max_model_deviation": agreement["max_model_deviation"],
             "max_exact_deviation": agreement["max_exact_deviation"],
+            "statistics": serving_statistics.export_metrics(),
         },
         "exact_serving": {
             "qps": exact_stats["items_per_second"],
@@ -261,10 +260,10 @@ def run_serving_benchmark(
             "fallback_count": half_statistics.fallback_count,
             "max_model_deviation": half_agreement["max_model_deviation"],
             "max_exact_deviation": half_agreement["max_exact_deviation"],
+            "statistics": half_statistics.export_metrics(),
         },
         "required_speedup": REQUIRED_SPEEDUP,
         "deviation_budget": DEVIATION_BUDGET,
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
 
 
@@ -324,48 +323,65 @@ def _check(result: dict) -> list[str]:
     return failures
 
 
+def _extract(result: dict) -> dict:
+    hybrid = result["hybrid_serving"]
+    stats = hybrid.get("statistics", {})
+    return {
+        "seed_qps": result["seed_loop"]["qps"],
+        "hybrid_qps": hybrid["qps"],
+        "hybrid_speedup": hybrid["speedup"],
+        "exact_qps": result["exact_serving"]["qps"],
+        "exact_speedup_vs_seed": result["exact_serving"]["speedup_vs_seed"],
+        "fallback_rate": hybrid["fallback_rate"],
+        "max_model_deviation": hybrid["max_model_deviation"],
+        "max_exact_deviation": hybrid["max_exact_deviation"],
+        "ooc_fallback_rate": result["out_of_coverage"]["fallback_rate"],
+        "p50_seconds": stats.get("p50_seconds", 0.0),
+        "p99_seconds": stats.get("p99_seconds", 0.0),
+    }
+
+
+SPEC = BenchmarkSpec(
+    name="serving",
+    title="Batched hybrid serving (Fig-12 setup)",
+    artifact="serving",
+    run=run_serving_benchmark,
+    metrics={
+        "seed_qps": "info",
+        "hybrid_qps": "higher",
+        "hybrid_speedup": "higher",
+        "exact_qps": "higher",
+        "exact_speedup_vs_seed": "info",
+        "fallback_rate": "info",
+        "max_model_deviation": "info",
+        "max_exact_deviation": "info",
+        "ooc_fallback_rate": "info",
+        "p50_seconds": "info",
+        "p99_seconds": "info",
+    },
+    extract=_extract,
+    check=lambda result, params: _check(result),
+    format=_format,
+    default_params={
+        "statement_count": 1_000,
+        "dataset_size": 40_000,
+        "training_queries": 1_200,
+        "dimension": 2,
+        "repetitions": 3,
+        "seed": 7,
+    },
+    smoke_params={
+        "statement_count": 300,
+        "training_queries": 800,
+        "repetitions": 2,
+    },
+)
+
+
 def test_serving_benchmark(results_dir, record_table):
     """Benchmark-suite entry point: asserts the headline requirements."""
-    result = run_serving_benchmark()
-    record_table("bench_serving", _format(result))
-    (results_dir / "BENCH_serving.json").write_text(
-        json.dumps(result, indent=2) + "\n", encoding="utf-8"
-    )
-    failures = _check(result)
-    assert not failures, "; ".join(failures)
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="small, fast configuration for CI smoke runs",
-    )
-    parser.add_argument(
-        "--output",
-        type=Path,
-        default=Path("BENCH_serving.json"),
-        help="where to write the JSON results (default: ./BENCH_serving.json)",
-    )
-    args = parser.parse_args()
-    if args.smoke:
-        result = run_serving_benchmark(
-            statement_count=300,
-            dataset_size=40_000,
-            training_queries=800,
-            repetitions=2,
-        )
-    else:
-        result = run_serving_benchmark()
-    print(_format(result))
-    args.output.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
-    print(f"\nwrote {args.output}")
-    failures = _check(result)
-    for failure in failures:
-        print(f"FAIL: {failure}")
-    return 1 if failures else 0
+    pytest_entry(SPEC, results_dir, record_table)
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(script_main(SPEC))

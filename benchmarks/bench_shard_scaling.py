@@ -18,7 +18,8 @@ selectivity estimate.  This benchmark measures, on an N >= 200k workload:
   shard scan and whether the router lands on the winning side.
 
 Every configuration is verified against the single-engine answers to 1e-9
-and everything is recorded in ``BENCH_shard.json``, so the default backend
+and everything is emitted through the ``repro.bench`` harness (JSONL
+results store + one ``BENCH_shard.json`` artifact), so the default backend
 and the router's thresholds stay empirical facts.
 
 Run standalone with::
@@ -28,14 +29,13 @@ Run standalone with::
 
 from __future__ import annotations
 
-import argparse
-import json
 import math
 import os
-import time
-from pathlib import Path
 
 import numpy as np
+
+from repro.bench import BenchmarkSpec
+from repro.bench.cli import pytest_entry, script_main
 
 from repro.data.synthetic import make_rosenbrock_dataset, normalize_dataset
 from repro.dbms.executor import ExactQueryEngine
@@ -242,7 +242,6 @@ def run_shard_scaling(
         "sharded": runs,
         "selectivity_axis": selectivity_axis,
         "winner": {"backend": best["backend"], "workers": best["workers"]},
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
 
 
@@ -297,7 +296,7 @@ def _check(result: dict, *, require_speedup: bool) -> list[str]:
         elif isinstance(node, float) and not math.isfinite(node):
             failures.append(f"non-finite value at {path}")
 
-    walk({key: value for key, value in result.items() if key != "timestamp"})
+    walk(result)
     for run in result["sharded"]:
         worst = max(run["q1_max_abs_deviation"], run["q2_max_abs_deviation"])
         if worst > MAX_DEVIATION:
@@ -347,55 +346,94 @@ def _check(result: dict, *, require_speedup: bool) -> list[str]:
     return failures
 
 
+def _run_harness(require_speedup: bool = True, **params) -> dict:
+    """Harness entry: the gate flag rides in the config, not the run."""
+    return run_shard_scaling(**params)
+
+
+def _extract(result: dict) -> dict:
+    runs = result["sharded"]
+    metrics = {
+        "single_q1_qps": result["single_engine"]["q1_qps"],
+        "single_q2_qps": result["single_engine"]["q2_qps"],
+        "best_sharded_q1_qps": max(run["q1_qps"] for run in runs),
+        "best_sharded_q2_qps": max(run["q2_qps"] for run in runs),
+        "best_q1_speedup": max(run["q1_speedup_vs_single"] for run in runs),
+        "best_q2_speedup": max(run["q2_speedup_vs_single"] for run in runs),
+        "max_deviation": max(
+            max(run["q1_max_abs_deviation"], run["q2_max_abs_deviation"])
+            for run in runs
+        ),
+    }
+    for entry in result["selectivity_axis"]:
+        if entry["regime"] == "selective":
+            metrics["selective_indexed_q1_speedup"] = entry[
+                "indexed_speedup_vs_scan"
+            ]["q1"]
+            metrics["selective_indexed_q2_speedup"] = entry[
+                "indexed_speedup_vs_scan"
+            ]["q2"]
+        metrics[f"routed_efficiency_q2_{entry['regime']}"] = entry[
+            "routed_efficiency_q2"
+        ]
+    return metrics
+
+
+SPEC = BenchmarkSpec(
+    name="shard_scaling",
+    title="Sharded batch execution (N >= 200k)",
+    artifact="shard",
+    run=_run_harness,
+    metrics={
+        "single_q1_qps": "info",
+        "single_q2_qps": "info",
+        "best_sharded_q1_qps": "higher",
+        "best_sharded_q2_qps": "higher",
+        "best_q1_speedup": "info",
+        "best_q2_speedup": "info",
+        "selective_indexed_q1_speedup": "higher",
+        "selective_indexed_q2_speedup": "higher",
+        "routed_efficiency_q2_selective": "info",
+        "routed_efficiency_q2_moderate": "info",
+        "routed_efficiency_q2_scan": "info",
+        "max_deviation": "info",
+    },
+    extract=_extract,
+    check=lambda result, params: _check(
+        result, require_speedup=bool(params.get("require_speedup", True))
+    ),
+    format=_format,
+    default_params={
+        "dataset_size": 200_000,
+        "batch_size": 400,
+        "dimension": 2,
+        "worker_counts": (1, 2),
+        "backends": ("threads", "processes"),
+        "regimes": ("selective", "moderate", "scan"),
+        "repetitions": 2,
+        "seed": 7,
+        "require_speedup": True,
+    },
+    smoke_params={
+        "batch_size": 100,
+        "backends": ("threads",),
+        "regimes": ("selective", "scan"),
+        "repetitions": 1,
+        "require_speedup": False,
+    },
+)
+
+
 def test_shard_scaling(results_dir, record_table):
     """Benchmark-suite entry point (reduced size, same N >= 200k regime)."""
-    result = run_shard_scaling(
+    pytest_entry(
+        SPEC,
+        results_dir,
+        record_table,
+        label="smoke",
         batch_size=150,
-        backends=("threads",),
-        regimes=("selective", "scan"),
-        repetitions=1,
     )
-    record_table("bench_shard_scaling", _format(result))
-    (results_dir / "BENCH_shard.json").write_text(
-        json.dumps(result, indent=2) + "\n", encoding="utf-8"
-    )
-    failures = _check(result, require_speedup=False)
-    assert not failures, "; ".join(failures)
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="reduced batch and thread-only configuration for CI smoke runs",
-    )
-    parser.add_argument(
-        "--output",
-        type=Path,
-        default=Path("BENCH_shard.json"),
-        help="where to write the JSON results (default: ./BENCH_shard.json)",
-    )
-    args = parser.parse_args()
-    if args.smoke:
-        result = run_shard_scaling(
-            batch_size=100,
-            backends=("threads",),
-            worker_counts=(1, 2),
-            regimes=("selective", "scan"),
-            repetitions=1,
-        )
-        failures = _check(result, require_speedup=False)
-    else:
-        result = run_shard_scaling()
-        failures = _check(result, require_speedup=True)
-    print(_format(result))
-    args.output.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
-    print(f"\nwrote {args.output}")
-    for failure in failures:
-        print(f"FAIL: {failure}")
-    return 1 if failures else 0
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(script_main(SPEC))

@@ -24,22 +24,22 @@ pipelined mode reaches **>= 5x** the seed per-query loop's training
 queries/s, and produces a model *identical* to the sequential loop over
 the same labelled stream (prototype matrix compared bit-for-bit).
 
-Results are written to ``BENCH_training.json`` so CI runs accumulate a
-performance trajectory.  Run standalone with::
+Results are emitted through the ``repro.bench`` harness: a
+:class:`~repro.bench.RunRecord` appended to the JSONL results store plus
+one ``BENCH_training.json`` artifact.  Run standalone with::
 
     PYTHONPATH=src python benchmarks/bench_training_throughput.py [--smoke]
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import os
 import time
-from pathlib import Path
 
 import numpy as np
 
+from repro.bench import BenchmarkSpec
+from repro.bench.cli import pytest_entry, script_main
 from repro.config import ModelConfig, TrainingConfig
 from repro.core.model import LLMModel
 from repro.core.sgd import apply_winner_update
@@ -335,7 +335,6 @@ def run_training_throughput(
             else 0.0
         ),
         "required_speedup": REQUIRED_SPEEDUP,
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
 
 
@@ -398,47 +397,64 @@ def _check(result: dict) -> list[str]:
     return failures
 
 
+def _extract(result: dict) -> dict:
+    metrics = {
+        "seed_loop_qps": result["seed_loop"]["queries_per_second"],
+        "incremental_qps": result["per_query_incremental"]["queries_per_second"],
+        "pipelined_qps": result["pipelined"]["queries_per_second"],
+        "prefetch_qps": result["pipelined_prefetch"]["queries_per_second"],
+        "stale_winners_qps": result["stale_winners"]["queries_per_second"],
+        "speedup_vs_seed_loop": result["speedup_vs_seed_loop"],
+        "speedup_incremental_loop": result["speedup_incremental_loop"],
+        "prototypes_bitwise_equal": float(
+            result["equivalence"]["prototypes_bitwise_equal"]
+        ),
+    }
+    for label, stats in result["sharded"].items():
+        key = label.replace("=", "_")
+        metrics[f"sharded_{key}_qps"] = stats["queries_per_second"]
+    return metrics
+
+
+SPEC = BenchmarkSpec(
+    name="training_throughput",
+    title="Training throughput (Fig-12 setup)",
+    artifact="training",
+    run=run_training_throughput,
+    metrics={
+        "seed_loop_qps": "info",
+        "incremental_qps": "info",
+        "pipelined_qps": "higher",
+        "prefetch_qps": "info",
+        "stale_winners_qps": "info",
+        "speedup_vs_seed_loop": "higher",
+        "speedup_incremental_loop": "info",
+        "prototypes_bitwise_equal": "info",
+        "sharded_workers_1_qps": "info",
+        "sharded_workers_2_qps": "info",
+    },
+    extract=_extract,
+    check=lambda result, params: _check(result),
+    format=_format,
+    default_params={
+        "dataset_size": 40_000,
+        "query_count": 4_000,
+        "seed_loop_queries": 600,
+        "batch_size": 1_000,
+        "dimension": 2,
+        "worker_counts": (1, 2),
+        "seed": 7,
+    },
+    # The dataset stays at the Fig-12 N=40k (the per-query engine cost is
+    # what the speedup gate measures); only the workload shrinks.
+    smoke_params={"query_count": 1_500, "seed_loop_queries": 300},
+)
+
+
 def test_training_throughput(results_dir, record_table):
     """Benchmark-suite entry point: asserts the headline requirements."""
-    result = run_training_throughput()
-    record_table("bench_training_throughput", _format(result))
-    (results_dir / "BENCH_training.json").write_text(
-        json.dumps(result, indent=2) + "\n", encoding="utf-8"
-    )
-    failures = _check(result)
-    assert not failures, "; ".join(failures)
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="small, fast configuration for CI smoke runs",
-    )
-    parser.add_argument(
-        "--output",
-        type=Path,
-        default=Path("BENCH_training.json"),
-        help="where to write the JSON results (default: ./BENCH_training.json)",
-    )
-    args = parser.parse_args()
-    if args.smoke:
-        # The dataset stays at the Fig-12 N=40k (the per-query engine cost
-        # is what the speedup gate measures); only the workload shrinks.
-        result = run_training_throughput(
-            query_count=1_500, seed_loop_queries=300
-        )
-    else:
-        result = run_training_throughput()
-    print(_format(result))
-    args.output.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
-    print(f"\nwrote {args.output}")
-    failures = _check(result)
-    for failure in failures:
-        print(f"FAIL: {failure}")
-    return 1 if failures else 0
+    pytest_entry(SPEC, results_dir, record_table)
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(script_main(SPEC))

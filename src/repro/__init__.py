@@ -172,6 +172,15 @@ from .baselines import (
     fit_plr_over_subspace,
     fit_reg_over_subspace,
 )
+from .bench import (
+    BenchmarkRunner,
+    BenchmarkSpec,
+    ExperimentConfig,
+    RegressionDetector,
+    RegressionPolicy,
+    ResultsStore,
+    RunRecord,
+)
 from .metrics import cod, fvu, rmse
 
 __version__ = "1.0.0"
@@ -263,6 +272,14 @@ __all__ = [
     "SamplingRegressor",
     "fit_reg_over_subspace",
     "fit_plr_over_subspace",
+    # bench
+    "ExperimentConfig",
+    "RunRecord",
+    "BenchmarkSpec",
+    "BenchmarkRunner",
+    "ResultsStore",
+    "RegressionDetector",
+    "RegressionPolicy",
     # metrics
     "rmse",
     "fvu",

@@ -1,0 +1,48 @@
+"""Unified benchmark harness: configs, runner, results store, regression gates.
+
+The harness turns every benchmark into a declarative
+:class:`ExperimentConfig` (stable content-hash identity), executes it
+through the :class:`BenchmarkRunner`, and appends the normalised
+:class:`RunRecord` to a JSONL :class:`ResultsStore` that accumulates the
+cross-PR performance trajectory.  The :class:`RegressionDetector` gates
+each trajectory's latest run against a rolling baseline of prior runs in
+the same environment; ``python -m repro.bench report`` renders the
+verdicts as markdown and exits nonzero on regression.
+"""
+
+from .config import ExperimentConfig, canonicalize
+from .record import (
+    Direction,
+    RunRecord,
+    current_git_sha,
+    environment_fingerprint,
+    environment_key,
+)
+from .regression import (
+    ConfigVerdict,
+    MetricVerdict,
+    RegressionDetector,
+    RegressionPolicy,
+)
+from .report import render_report
+from .runner import BenchmarkRunner, BenchmarkSpec
+from .store import STORE_NAME, ResultsStore
+
+__all__ = [
+    "ExperimentConfig",
+    "canonicalize",
+    "Direction",
+    "RunRecord",
+    "current_git_sha",
+    "environment_fingerprint",
+    "environment_key",
+    "BenchmarkRunner",
+    "BenchmarkSpec",
+    "ResultsStore",
+    "STORE_NAME",
+    "RegressionDetector",
+    "RegressionPolicy",
+    "ConfigVerdict",
+    "MetricVerdict",
+    "render_report",
+]

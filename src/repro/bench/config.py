@@ -1,0 +1,95 @@
+"""Declarative experiment configs with stable content-hash identities.
+
+A benchmark run is identified by *what was measured*, not by when or where
+it ran: the same benchmark name with the same parameters must map to the
+same :attr:`ExperimentConfig.config_id` forever, so that the results store
+can stitch runs from different commits (and different PRs) into one
+trajectory.  The identity is therefore a content hash of the canonical
+JSON encoding of ``(benchmark, parameters)`` — key order, tuple-vs-list
+spelling and numpy scalar types are all normalised away first.  The
+human-readable :attr:`ExperimentConfig.label` ("full", "smoke", ...) is
+deliberately *excluded* from the hash: relabelling a config must not
+orphan its history.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["ExperimentConfig", "canonicalize"]
+
+#: Hex digits of the sha256 digest kept as the config identity.  Twelve
+#: digits (48 bits) keep collisions out of reach for any plausible number
+#: of configs while staying readable in tables and filenames.
+_ID_DIGITS = 12
+
+
+def canonicalize(value: Any) -> Any:
+    """Normalise a parameter structure into JSON-stable primitives.
+
+    Mappings become plain dicts (JSON serialisation sorts the keys),
+    tuples and lists both become lists, numpy scalars collapse to their
+    Python equivalents via ``item()``, and sets are rejected (their
+    iteration order would make the hash unstable).
+    """
+    if isinstance(value, Mapping):
+        return {str(key): canonicalize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        raise ConfigurationError(
+            "set-valued parameters have no canonical order; use a sorted "
+            "list instead"
+        )
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        # numpy scalars (np.int64, np.float64, ...) -> Python scalars.
+        value = value.item()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ConfigurationError(
+        f"parameter value {value!r} of type {type(value).__name__} is not "
+        f"JSON-canonicalisable"
+    )
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One fully-resolved benchmark configuration with a stable identity.
+
+    Attributes
+    ----------
+    benchmark:
+        The registered benchmark name (e.g. ``"serving"``).
+    parameters:
+        The complete keyword arguments of the benchmark's run function.
+        Canonicalised at construction (tuples become lists, numpy scalars
+        become Python scalars), so the stored value round-trips through
+        JSON unchanged.
+    label:
+        Human-readable variant tag (``"full"``, ``"smoke"``); shown in
+        reports, excluded from the identity hash.
+    """
+
+    benchmark: str
+    parameters: Mapping[str, Any] = field(default_factory=dict)
+    label: str = "full"
+
+    def __post_init__(self) -> None:
+        if not self.benchmark:
+            raise ConfigurationError("benchmark name must be non-empty")
+        object.__setattr__(self, "parameters", canonicalize(self.parameters))
+
+    @property
+    def config_id(self) -> str:
+        """The stable content-hash identity of ``(benchmark, parameters)``."""
+        payload = json.dumps(
+            {"benchmark": self.benchmark, "parameters": self.parameters},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:_ID_DIGITS]

@@ -1,0 +1,194 @@
+"""Normalised benchmark run records and environment fingerprinting.
+
+A :class:`RunRecord` is the one-line-of-JSONL unit the results store
+persists: the config identity, the extracted metric values (flat
+name→float, with a per-metric direction so the regression detector knows
+which way "worse" points), the headline-gate failures of that run, an
+environment fingerprint, and provenance (git SHA + timestamp, both
+*injected by the caller* — the runner never reads clocks or the git
+repository itself, which keeps it deterministic and testable).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "Direction",
+    "RunRecord",
+    "environment_fingerprint",
+    "environment_key",
+    "current_git_sha",
+]
+
+#: Current schema of the JSONL record lines.
+SCHEMA_VERSION = 1
+
+
+class Direction:
+    """Metric direction markers: which way does "worse" point?
+
+    ``HIGHER`` — larger is better (throughput, speedups, hit rates): a
+    drop regresses.  ``LOWER`` — smaller is better (latencies, error
+    rates): a rise regresses.  ``INFO`` — tracked for the trajectory but
+    never gated (timing-noisy or purely descriptive series).
+    """
+
+    HIGHER = "higher"
+    LOWER = "lower"
+    INFO = "info"
+
+    ALL = (HIGHER, LOWER, INFO)
+
+
+def environment_fingerprint() -> dict[str, Any]:
+    """Describe the machine/interpreter a benchmark ran on."""
+    import numpy
+
+    return {
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+    }
+
+
+def environment_key(environment: Mapping[str, Any]) -> str:
+    """The baseline-matching key of an environment fingerprint.
+
+    Coarser than the full fingerprint: hardware shape plus the Python
+    minor version.  Library patch bumps (numpy) do not reset baselines;
+    moving to a different machine class or interpreter line does —
+    cross-hardware throughput comparisons are meaningless.
+    """
+    python = str(environment.get("python", "?"))
+    minor = ".".join(python.split(".")[:2])
+    return (
+        f"{environment.get('platform', '?')}-{environment.get('machine', '?')}"
+        f"-cpu{environment.get('cpu_count', '?')}-py{minor}"
+    )
+
+
+def current_git_sha(cwd: str | None = None) -> str:
+    """The current commit SHA, or ``"unknown"`` outside a git checkout.
+
+    ``GITHUB_SHA`` (set by CI) wins over asking git, so records written
+    from detached CI workspaces still carry the commit under test.
+    """
+    env_sha = os.environ.get("GITHUB_SHA")
+    if env_sha:
+        return env_sha
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10.0,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = completed.stdout.strip()
+    return sha if completed.returncode == 0 and sha else "unknown"
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One benchmark execution, normalised for the results store.
+
+    Attributes
+    ----------
+    config_id / benchmark / label / parameters:
+        The :class:`~repro.bench.config.ExperimentConfig` identity the
+        run executed (parameters are the canonicalised copy).
+    metrics:
+        Flat metric name → value mapping extracted from the raw result.
+    metric_directions:
+        Per-metric :class:`Direction` marker.  Stored *in the record* so
+        the store is self-describing: the report command can gate a
+        trajectory without importing the benchmark scripts that wrote it.
+    gate_failures:
+        The run's failed headline requirements (deviation budgets,
+        hard speedup floors).  Empty for a green run.
+    environment:
+        :func:`environment_fingerprint` of the executing host.
+    git_sha / timestamp:
+        Provenance, injected by the caller (never read by the runner).
+    duration_seconds:
+        Wall-clock cost of executing the benchmark function.
+    """
+
+    config_id: str
+    benchmark: str
+    label: str
+    parameters: Mapping[str, Any]
+    metrics: Mapping[str, float]
+    metric_directions: Mapping[str, str]
+    gate_failures: tuple[str, ...] = ()
+    environment: Mapping[str, Any] = field(default_factory=dict)
+    git_sha: str = "unknown"
+    timestamp: str = ""
+    duration_seconds: float = 0.0
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        for name, direction in self.metric_directions.items():
+            if direction not in Direction.ALL:
+                raise ConfigurationError(
+                    f"metric {name!r} has unknown direction {direction!r} "
+                    f"(expected one of {Direction.ALL})"
+                )
+
+    @property
+    def environment_key(self) -> str:
+        """The baseline-matching key of this record's environment."""
+        return environment_key(self.environment)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run passed every headline gate."""
+        return not self.gate_failures
+
+    def direction_of(self, metric: str) -> str:
+        """The direction of a metric (defaults to ``info`` when undeclared)."""
+        return self.metric_directions.get(metric, Direction.INFO)
+
+    def to_dict(self) -> dict[str, Any]:
+        data = asdict(self)
+        data["parameters"] = dict(self.parameters)
+        data["metrics"] = {k: float(v) for k, v in self.metrics.items()}
+        data["metric_directions"] = dict(self.metric_directions)
+        data["gate_failures"] = list(self.gate_failures)
+        data["environment"] = dict(self.environment)
+        return data
+
+    def to_json(self) -> str:
+        """One compact JSON line (the store's on-disk unit)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
+        return cls(
+            config_id=str(data["config_id"]),
+            benchmark=str(data["benchmark"]),
+            label=str(data.get("label", "full")),
+            parameters=dict(data.get("parameters", {})),
+            metrics={k: float(v) for k, v in dict(data.get("metrics", {})).items()},
+            metric_directions=dict(data.get("metric_directions", {})),
+            gate_failures=tuple(data.get("gate_failures", ())),
+            environment=dict(data.get("environment", {})),
+            git_sha=str(data.get("git_sha", "unknown")),
+            timestamp=str(data.get("timestamp", "")),
+            duration_seconds=float(data.get("duration_seconds", 0.0)),
+            schema_version=int(data.get("schema_version", SCHEMA_VERSION)),
+        )

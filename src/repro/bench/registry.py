@@ -1,0 +1,98 @@
+"""Discovery of benchmark specs from ``benchmarks/bench_*.py`` scripts.
+
+The heavy measurement code stays in the scripts; each harness-ported
+script exposes a module-level ``SPEC`` (a :class:`BenchmarkSpec`).  The
+registry sniffs script *source* for the marker string before importing,
+so the dozen figure-replication scripts that predate the harness are
+never imported (some run work at module scope).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import sys
+from pathlib import Path
+
+from ..exceptions import ConfigurationError
+from .runner import BenchmarkSpec
+
+__all__ = ["repo_root", "benchmarks_dir", "discover_specs"]
+
+#: Environment override for the repository root (store + scripts live here).
+ROOT_ENV = "REPRO_BENCH_ROOT"
+
+_SPEC_MARKER = "BenchmarkSpec"
+_MODULE_PREFIX = "repro_bench_scripts"
+
+
+def repo_root() -> Path:
+    """The repository root holding ``benchmarks/`` and the results store.
+
+    Resolution order: the ``REPRO_BENCH_ROOT`` environment variable, the
+    tree this package is installed in (source checkouts), then the first
+    ancestor of the working directory containing ``benchmarks/``, and
+    finally the working directory itself.
+    """
+    override = os.environ.get(ROOT_ENV)
+    if override:
+        return Path(override).resolve()
+    package_root = Path(__file__).resolve().parents[3]
+    if (package_root / "benchmarks").is_dir():
+        return package_root
+    cwd = Path.cwd().resolve()
+    for candidate in (cwd, *cwd.parents):
+        if (candidate / "benchmarks").is_dir():
+            return candidate
+    return cwd
+
+
+def benchmarks_dir(root: Path | None = None) -> Path:
+    return (root or repo_root()) / "benchmarks"
+
+
+def _load_spec(script: Path) -> BenchmarkSpec:
+    module_name = f"{_MODULE_PREFIX}.{script.stem}"
+    cached = sys.modules.get(module_name)
+    if cached is not None and getattr(cached, "__file__", None) == str(script):
+        spec_obj = getattr(cached, "SPEC", None)
+    else:
+        module_spec = importlib.util.spec_from_file_location(module_name, script)
+        if module_spec is None or module_spec.loader is None:
+            raise ConfigurationError(f"cannot load benchmark script {script}")
+        module = importlib.util.module_from_spec(module_spec)
+        sys.modules[module_name] = module
+        try:
+            module_spec.loader.exec_module(module)
+        except BaseException:
+            sys.modules.pop(module_name, None)
+            raise
+        spec_obj = getattr(module, "SPEC", None)
+    if not isinstance(spec_obj, BenchmarkSpec):
+        raise ConfigurationError(
+            f"benchmark script {script} mentions {_SPEC_MARKER} but exposes no "
+            f"module-level SPEC"
+        )
+    return spec_obj
+
+
+def discover_specs(root: Path | None = None) -> dict[str, BenchmarkSpec]:
+    """All harness-ported benchmark specs, keyed by registered name."""
+    directory = benchmarks_dir(root)
+    specs: dict[str, BenchmarkSpec] = {}
+    if not directory.is_dir():
+        return specs
+    for script in sorted(directory.glob("bench_*.py")):
+        try:
+            source = script.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        if _SPEC_MARKER not in source:
+            continue
+        spec = _load_spec(script)
+        if spec.name in specs:
+            raise ConfigurationError(
+                f"duplicate benchmark name {spec.name!r} registered by {script}"
+            )
+        specs[spec.name] = spec
+    return specs

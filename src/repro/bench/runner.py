@@ -1,0 +1,180 @@
+"""Benchmark specs and the runner that turns configs into run records.
+
+A :class:`BenchmarkSpec` is the declarative bridge between a heavy
+``benchmarks/bench_*.py`` script and the harness: the script keeps its
+measurement logic (``run_*``) and exposes a module-level ``SPEC`` that
+tells the harness how to invoke it, which metrics to extract (and their
+regression directions), which headline gates to check, and how to render
+a human-readable table.
+
+The :class:`BenchmarkRunner` itself is pure orchestration: it executes a
+config's parameters through the spec, extracts metrics, evaluates gates,
+and emits a normalised :class:`RunRecord`.  Provenance (git SHA and
+timestamp) is injected by the caller, and the duration clock is
+injectable, so runner behaviour is fully deterministic under test.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..exceptions import ConfigurationError
+from .config import ExperimentConfig
+from .record import Direction, RunRecord, environment_fingerprint
+
+__all__ = ["BenchmarkSpec", "BenchmarkRunner"]
+
+
+def _default_extract(result: Mapping[str, Any], metrics: Mapping[str, str]) -> dict[str, float]:
+    """Pull declared metric names straight out of a flat result dict."""
+    extracted: dict[str, float] = {}
+    for name in metrics:
+        if name in result:
+            extracted[name] = float(result[name])
+    return extracted
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """How the harness runs, scores, and renders one benchmark.
+
+    Attributes
+    ----------
+    name:
+        Registry name (``"serving"``, ``"batch_throughput"``, ...).
+    title:
+        Human-readable heading used in reports.
+    artifact:
+        Stem of the per-run JSON artifact (``BENCH_<artifact>.json``).
+    run:
+        ``run(**parameters) -> result dict`` — the script's measurement
+        function, unchanged.
+    metrics:
+        Metric name → :class:`Direction` map.  ``higher`` / ``lower``
+        metrics are regression-gated; ``info`` metrics are tracked only.
+    extract:
+        ``extract(result) -> {metric: value}``.  Defaults to picking the
+        declared metric names out of the (flat) result dict.
+    check:
+        ``check(result, parameters) -> [failure, ...]`` — the headline
+        hard gates (deviation budgets, speedup floors).  Defaults to no
+        gates.
+    format:
+        ``format(result) -> str`` table for terminal output.  Defaults to
+        a plain metric listing.
+    default_params / smoke_params:
+        The full and fast parameterisations; ``smoke_params`` holds only
+        the overrides applied on top of ``default_params``.
+    """
+
+    name: str
+    title: str
+    artifact: str
+    run: Callable[..., Mapping[str, Any]]
+    metrics: Mapping[str, str] = field(default_factory=dict)
+    extract: Callable[[Mapping[str, Any]], Mapping[str, float]] | None = None
+    check: Callable[[Mapping[str, Any], Mapping[str, Any]], list[str]] | None = None
+    format: Callable[[Mapping[str, Any]], str] | None = None
+    default_params: Mapping[str, Any] = field(default_factory=dict)
+    smoke_params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for metric, direction in self.metrics.items():
+            if direction not in Direction.ALL:
+                raise ConfigurationError(
+                    f"benchmark {self.name!r} metric {metric!r} has unknown "
+                    f"direction {direction!r}"
+                )
+
+    def config(self, label: str = "full", **overrides: Any) -> ExperimentConfig:
+        """Build the config for a label: defaults, plus smoke/CLI overrides."""
+        parameters = dict(self.default_params)
+        if label == "smoke":
+            parameters.update(self.smoke_params)
+        parameters.update(overrides)
+        return ExperimentConfig(benchmark=self.name, parameters=parameters, label=label)
+
+    def extract_metrics(self, result: Mapping[str, Any]) -> dict[str, float]:
+        if self.extract is not None:
+            return {k: float(v) for k, v in self.extract(result).items()}
+        return _default_extract(result, self.metrics)
+
+    def check_result(
+        self, result: Mapping[str, Any], parameters: Mapping[str, Any]
+    ) -> list[str]:
+        if self.check is None:
+            return []
+        return list(self.check(result, parameters))
+
+    def format_result(self, result: Mapping[str, Any]) -> str:
+        if self.format is not None:
+            return self.format(result)
+        lines = [self.title, "-" * len(self.title)]
+        for name, value in sorted(self.extract_metrics(result).items()):
+            lines.append(f"{name:40s} {value:14.6g}")
+        return "\n".join(lines)
+
+
+class BenchmarkRunner:
+    """Executes :class:`ExperimentConfig`\\ s and emits :class:`RunRecord`\\ s."""
+
+    def __init__(
+        self,
+        specs: Mapping[str, BenchmarkSpec],
+        *,
+        environment: Mapping[str, Any] | None = None,
+        duration_clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self._specs = dict(specs)
+        self._environment = (
+            dict(environment) if environment is not None else environment_fingerprint()
+        )
+        self._duration_clock = duration_clock
+
+    @property
+    def specs(self) -> dict[str, BenchmarkSpec]:
+        return dict(self._specs)
+
+    def spec_for(self, benchmark: str) -> BenchmarkSpec:
+        try:
+            return self._specs[benchmark]
+        except KeyError:
+            known = ", ".join(sorted(self._specs)) or "<none>"
+            raise ConfigurationError(
+                f"unknown benchmark {benchmark!r} (registered: {known})"
+            ) from None
+
+    def execute(
+        self,
+        config: ExperimentConfig,
+        *,
+        git_sha: str = "unknown",
+        timestamp: str = "",
+    ) -> tuple[RunRecord, dict[str, Any]]:
+        """Run a config and return ``(record, raw_result)``.
+
+        The raw result dict is returned alongside the normalised record
+        so callers can render the script's full table or write the
+        per-run JSON artifact without re-running the benchmark.
+        """
+        spec = self.spec_for(config.benchmark)
+        parameters = dict(config.parameters)
+        started = self._duration_clock()
+        result = dict(spec.run(**parameters))
+        duration = self._duration_clock() - started
+        record = RunRecord(
+            config_id=config.config_id,
+            benchmark=config.benchmark,
+            label=config.label,
+            parameters=config.parameters,
+            metrics=spec.extract_metrics(result),
+            metric_directions=dict(spec.metrics),
+            gate_failures=tuple(spec.check_result(result, parameters)),
+            environment=self._environment,
+            git_sha=git_sha,
+            timestamp=timestamp,
+            duration_seconds=duration,
+        )
+        return record, result

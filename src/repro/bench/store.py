@@ -1,0 +1,89 @@
+"""JSONL-backed append-only results store.
+
+One :class:`RunRecord` per line, appended atomically (a single
+``write()`` of one line) so concurrent benchmark processes cannot
+interleave partial records.  Loading tolerates malformed lines — a
+truncated tail from a killed run must not take the whole trajectory
+down — but counts them so callers can surface the damage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .record import RunRecord
+
+__all__ = ["ResultsStore", "STORE_NAME"]
+
+#: Default filename of the committed cross-PR trajectory store.
+STORE_NAME = "BENCH_TRAJECTORY.jsonl"
+
+
+class ResultsStore:
+    """Append-only JSONL store of benchmark :class:`RunRecord` lines."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        #: Malformed lines skipped by the most recent :meth:`load` call.
+        self.skipped_lines = 0
+
+    def append(self, record: RunRecord) -> None:
+        """Append one record as a single JSON line (creates the file)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = record.to_json() + "\n"
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def extend(self, records: Iterable[RunRecord]) -> None:
+        for record in records:
+            self.append(record)
+
+    def load(self) -> list[RunRecord]:
+        """All records in append order; malformed lines are skipped.
+
+        The count of skipped lines is kept on :attr:`skipped_lines` so a
+        report can mention corruption without failing on it.
+        """
+        self.skipped_lines = 0
+        if not self.path.exists():
+            return []
+        records: list[RunRecord] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(RunRecord.from_dict(json.loads(line)))
+                except (ValueError, KeyError, TypeError):
+                    self.skipped_lines += 1
+        return records
+
+    def trajectory(
+        self, config_id: str, environment_key: str | None = None
+    ) -> list[RunRecord]:
+        """Records of one config in append order, optionally one environment."""
+        return [
+            record
+            for record in self.load()
+            if record.config_id == config_id
+            and (environment_key is None or record.environment_key == environment_key)
+        ]
+
+    def config_ids(self) -> list[str]:
+        """Distinct config ids in first-seen order."""
+        seen: dict[str, None] = {}
+        for record in self.load():
+            seen.setdefault(record.config_id, None)
+        return list(seen)
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self.load())
+
+    def __len__(self) -> int:
+        return len(self.load())

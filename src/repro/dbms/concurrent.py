@@ -246,10 +246,14 @@ class ScriptFuture:
     """The pending results of one submitted script (statement order kept)."""
 
     def __init__(
-        self, futures: "list[Future[StatementResult]]", on_error: str
+        self,
+        futures: "list[Future[StatementResult]]",
+        on_error: str,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self._futures = futures
         self._on_error = on_error
+        self._clock = clock
 
     def __len__(self) -> int:
         return len(self._futures)
@@ -264,13 +268,14 @@ class ScriptFuture:
         With ``on_error="raise"`` the first attached statement error is
         re-raised (mirroring the inner service's script contract); caller
         errors (syntax / configuration) always raise.  ``timeout`` bounds
-        the *total* wait across the script.
+        the *total* wait across the script, measured on the service's
+        injected clock so fault/timeout tests stay deterministic.
         """
-        deadline = None if timeout is None else time.monotonic() + timeout
+        deadline = None if timeout is None else self._clock() + timeout
         results: list[StatementResult] = []
         for future in self._futures:
             remaining = (
-                None if deadline is None else max(0.0, deadline - time.monotonic())
+                None if deadline is None else max(0.0, deadline - self._clock())
             )
             results.append(future.result(remaining))
         if self._on_error == "raise":
@@ -568,7 +573,7 @@ class ConcurrentAnalyticsService:
                     statement, key, futures[position], origin, now
                 )
                 self._enqueue((statement.table, statement.kind, mode), entry)
-        return ScriptFuture(futures, on_error)
+        return ScriptFuture(futures, on_error, clock=self._clock)
 
     def execute_script(
         self,

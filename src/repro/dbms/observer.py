@@ -50,7 +50,14 @@ class LifecycleEvent:
         Monotonically increasing per-hub sequence number (publication
         order).
     timestamp:
-        Wall-clock seconds (``time.time``) at publication.
+        Wall-clock seconds (``time.time``) at publication.  Human-facing
+        only: NTP can step it backwards, so it must never be used to
+        order events.
+    monotonic:
+        Monotonic seconds (``time.monotonic``) at publication.  The
+        ordering timestamp: never steps backwards, so interval math and
+        cross-event ordering (``model.swapped`` vs ``scheduler.error``)
+        stay correct even when the wall clock jumps.
     """
 
     kind: str
@@ -58,6 +65,7 @@ class LifecycleEvent:
     payload: Mapping[str, object] = field(default_factory=dict)
     sequence: int = 0
     timestamp: float = 0.0
+    monotonic: float = 0.0
 
 
 @runtime_checkable
@@ -78,10 +86,17 @@ class ObserverHub:
     not reduce availability.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        wall_clock: Callable[[], float] = time.time,
+    ) -> None:
         self._observers: list[LifecycleObserver] = []
         self._lock = threading.Lock()
         self._sequence = itertools.count()
+        self._clock = clock
+        self._wall_clock = wall_clock
         self.dropped_notifications = 0
 
     def subscribe(self, observer: LifecycleObserver) -> None:
@@ -105,7 +120,8 @@ class ObserverHub:
             table=table,
             payload=payload,
             sequence=next(self._sequence),
-            timestamp=time.time(),
+            timestamp=self._wall_clock(),
+            monotonic=self._clock(),
         )
         with self._lock:
             observers = list(self._observers)

@@ -467,6 +467,42 @@ class ServingStatistics:
             return 0.0
         return self.coalesce_width_sum / self.batches_executed
 
+    def export_metrics(self, prefix: str = "") -> "dict[str, float]":
+        """Flatten all counters and derived rates into a metrics mapping.
+
+        The benchmark harness's store hook: every counter plus the derived
+        rate/latency properties as plain floats (``prefix`` namespaces the
+        keys, e.g. ``"serving."``), so cache-hit rate, coalesce widths and
+        the p50/p99 latency series become first-class stored metrics
+        without callers reaching into individual fields.
+        """
+        metrics = {
+            "statements_executed": float(self.statements_executed),
+            "batches_executed": float(self.batches_executed),
+            "model_answered": float(self.model_answered),
+            "exact_answered": float(self.exact_answered),
+            "fallback_count": float(self.fallback_count),
+            "empty_count": float(self.empty_count),
+            "error_count": float(self.error_count),
+            "degraded_count": float(self.degraded_count),
+            "retry_count": float(self.retry_count),
+            "cache_hits": float(self.cache_hits),
+            "coalesced_batches": float(self.coalesced_batches),
+            "coalesce_width_sum": float(self.coalesce_width_sum),
+            "max_coalesce_width": float(self.max_coalesce_width),
+            "total_seconds": self.total_seconds,
+            "fallback_rate": self.fallback_rate,
+            "error_rate": self.error_rate,
+            "cache_hit_rate": self.cache_hit_rate,
+            "mean_coalesce_width": self.mean_coalesce_width,
+            "mean_seconds": self.mean_seconds,
+            "min_seconds": self.min_seconds,
+            "max_seconds": self.max_seconds,
+            "p50_seconds": self.p50_seconds,
+            "p99_seconds": self.p99_seconds,
+        }
+        return {f"{prefix}{name}": value for name, value in metrics.items()}
+
     def merge(self, other: "ServingStatistics") -> None:
         """Fold another statistics object into this one (counters add)."""
         self.statements_executed += other.statements_executed

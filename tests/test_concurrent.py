@@ -442,3 +442,52 @@ class TestSessionFacade:
             front.register_model(TABLE, model)
             assert front.tables == [TABLE]
             assert front.service.engine_for(TABLE) is engine
+
+
+class TestScriptFutureClock:
+    def test_result_deadline_is_measured_on_injected_clock(self):
+        from concurrent.futures import Future
+        from concurrent.futures import TimeoutError as FutureTimeoutError
+
+        from repro.dbms.concurrent import ScriptFuture
+        from repro.dbms.serving import StatementResult
+
+        answered: Future = Future()
+        answered.set_result(
+            StatementResult(statement="s", value=1.0, source="exact")
+        )
+        stuck: Future = Future()  # never resolves
+
+        # First call computes the deadline at t=0; every later reading is
+        # far past it, so the stuck future gets a zero remaining wait and
+        # times out immediately -- no real sleeping involved.
+        ticks = iter([0.0])
+        fake_clock = lambda: next(ticks, 1_000.0)  # noqa: E731
+        script = ScriptFuture([answered, stuck], "attach", clock=fake_clock)
+        import time as _time
+
+        started = _time.monotonic()
+        with pytest.raises(FutureTimeoutError):
+            script.result(timeout=60.0)
+        assert _time.monotonic() - started < 5.0
+        assert not script.done()
+
+    def test_submit_script_threads_the_service_clock(self, engine, model):
+        import time as _time
+
+        reads = []
+
+        def counting_clock() -> float:
+            reads.append(1)
+            return _time.monotonic()
+
+        with ConcurrentAnalyticsService(
+            _inner(engine, model), clock=counting_clock
+        ) as front:
+            future = front.submit_script(_script(2))
+            assert future._clock is counting_clock
+            before = len(reads)
+            results = future.result(timeout=30.0)
+            # The bounded wait consulted the injected clock, not time.monotonic.
+            assert len(reads) > before
+        assert all(r.ok for r in results)

@@ -177,6 +177,30 @@ class TestObserverHub:
         hub.publish("x")
         assert recorder.events == []
 
+    def test_events_carry_monotonic_and_wall_timestamps(self):
+        mono = iter([10.0, 11.0, 12.0])
+        wall = iter([1_700_000_000.0, 1_700_000_005.0])
+        hub = ObserverHub(
+            clock=lambda: next(mono), wall_clock=lambda: next(wall)
+        )
+        event = hub.publish("retrain.completed", "t")
+        assert event.monotonic == 10.0
+        assert event.timestamp == 1_700_000_000.0
+
+    def test_monotonic_ordering_survives_wall_clock_step_back(self):
+        # An NTP step moves wall time backwards mid-run; the monotonic
+        # stamp (and sequence) must still order the events correctly.
+        mono = iter([100.0, 100.5])
+        wall = iter([2_000.0, 1_500.0])  # steps back 500 s
+        hub = ObserverHub(
+            clock=lambda: next(mono), wall_clock=lambda: next(wall)
+        )
+        first = hub.publish("drift.detected", "t")
+        second = hub.publish("retrain.started", "t")
+        assert second.timestamp < first.timestamp  # wall clock lies
+        assert second.monotonic > first.monotonic  # ordering holds
+        assert second.sequence > first.sequence
+
 
 class TestQueryLog:
     def test_capacity_and_eviction(self):

@@ -54,6 +54,7 @@ class TestPublicSurface:
             "repro.dbms",
             "repro.data",
             "repro.baselines",
+            "repro.bench",
             "repro.metrics",
             "repro.eval",
         ],

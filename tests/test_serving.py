@@ -628,3 +628,72 @@ class TestConcurrencyCounters:
         first.reset()
         assert first.latency.total_count == 0
         assert first.max_coalesce_width == 0
+
+    def test_merge_arithmetic_on_concurrency_counters(self):
+        # Sums for the additive counters, max for the width watermark —
+        # in both merge directions.
+        wide = ServingStatistics()
+        wide.record_batch(8, seconds=0.01, coalesce_width=5, cache_hits=4)
+        narrow = ServingStatistics()
+        narrow.record_batch(2, seconds=0.01, coalesce_width=2, cache_hits=1)
+        narrow.merge(wide)
+        assert narrow.cache_hits == 5
+        assert narrow.coalesce_width_sum == 7
+        assert narrow.max_coalesce_width == 5  # max climbs to the donor's
+        wide.merge(ServingStatistics())  # empty donor changes nothing
+        assert wide.max_coalesce_width == 5
+        assert wide.cache_hits == 4
+
+    def test_export_metrics_flattens_counters_and_percentiles(self):
+        stats = ServingStatistics()
+        stats.record_batch(
+            4,
+            model_answered=3,
+            fallbacks=1,
+            seconds=0.02,
+            coalesce_width=2,
+            cache_hits=2,
+            latency_seconds=[0.001, 0.002, 0.003, 0.004],
+        )
+        exported = stats.export_metrics(prefix="srv_")
+        assert exported["srv_statements_executed"] == 4.0
+        assert exported["srv_cache_hits"] == 2.0
+        assert exported["srv_cache_hit_rate"] == pytest.approx(0.5)
+        assert exported["srv_max_coalesce_width"] == 2.0
+        assert exported["srv_fallback_rate"] == pytest.approx(0.25)
+        assert 0.0 < exported["srv_p50_seconds"] <= exported["srv_p99_seconds"]
+        assert all(isinstance(v, float) for v in exported.values())
+        # No prefix by default, same keys.
+        assert set(stats.export_metrics()) == {
+            k.removeprefix("srv_") for k in exported
+        }
+
+    def test_snapshot_histogram_does_not_alias_under_concurrent_merge(self):
+        import threading
+
+        shared = ServingStatistics()
+        shared.record_batch(1, seconds=0.001, coalesce_width=1)
+        stop = threading.Event()
+
+        def merger():
+            while not stop.is_set():
+                delta = ServingStatistics()
+                delta.record_batch(3, seconds=0.003, coalesce_width=2)
+                shared.merge(delta)
+
+        thread = threading.Thread(target=merger)
+        thread.start()
+        try:
+            # Each snapshot's histogram must be a deep copy: its counts
+            # stay frozen while merges keep mutating the shared instance.
+            frozen = []
+            for _ in range(200):
+                snap = shared.snapshot()
+                frozen.append((snap, snap.latency.total_count))
+        finally:
+            stop.set()
+            thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        for snap, count_at_capture in frozen:
+            assert snap.latency.total_count == count_at_capture
+        assert shared.latency.total_count > frozen[0][1]
