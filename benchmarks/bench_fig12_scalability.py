@@ -2,36 +2,132 @@
 
 The paper reports that LLM query processing time is flat in the dataset
 size (it never touches the data) and sub-millisecond, while exact REG and
-PLR execution grows with the data and is orders of magnitude slower.  This
-benchmark regenerates both panels (Q1 and Q2 latency vs N) and additionally
-uses pytest-benchmark to measure the per-query latency of the trained model
-directly.
+PLR execution grows with the data and is orders of magnitude slower.
+This replication regenerates both panels (Q1 and Q2 latency vs N) through
+:func:`~repro.eval.experiments.run_scalability_experiment` and gates the
+figure's shape: the model beats exact execution by a wide margin at the
+largest N, PLR is the slowest Q2 method, and model latency stays flat
+while exact latency grows.
+
+Results are emitted through the ``repro.bench`` harness: a
+:class:`~repro.bench.RunRecord` appended to the JSONL results store plus
+one ``BENCH_fig12.json`` artifact.  Run standalone with::
+
+    PYTHONPATH=src python benchmarks/bench_fig12_scalability.py [--smoke]
 """
 
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from repro.eval.experiments import build_context, run_scalability_experiment
+from repro.bench import BenchmarkSpec
+from repro.bench.cli import pytest_entry, script_main
+from repro.eval.experiments import run_scalability_experiment
 from repro.eval.reporting import format_series_table
 
 DATASET_SIZES = (10_000, 40_000, 160_000)
 
+#: The model must be at least this many times faster than exact REG at
+#: the largest dataset size (Figure 12 reports orders of magnitude).
+SPEEDUP_FLOOR = 3.0
 
-@pytest.fixture(scope="module")
-def scalability_result():
-    return run_scalability_experiment(
-        dataset_sizes=DATASET_SIZES,
-        dimension=2,
-        training_queries=800,
-        measured_queries=30,
-        seed=7,
+#: Flatness bound: model latency across all sizes stays within this
+#: factor of its own minimum (it never touches the data).
+FLATNESS_FACTOR = 10.0
+
+
+def run_fig12(
+    dataset_sizes: tuple = DATASET_SIZES,
+    dimension: int = 2,
+    training_queries: int = 800,
+    measured_queries: int = 30,
+    *,
+    seed: int = 7,
+) -> dict:
+    """Regenerate both Figure 12 panels; keep the raw latency series."""
+    result = run_scalability_experiment(
+        dataset_sizes=tuple(dataset_sizes),
+        dimension=dimension,
+        training_queries=training_queries,
+        measured_queries=measured_queries,
+        seed=seed,
     )
+    result["setup"] = {
+        "dataset_sizes": list(dataset_sizes),
+        "dimension": dimension,
+        "training_queries": training_queries,
+        "measured_queries": measured_queries,
+    }
+    return result
 
 
-def test_fig12_latency_vs_dataset_size(scalability_result, benchmark, record_table):
-    result = scalability_result
+def _series(result: dict) -> dict:
+    return {
+        "llm_q1": np.asarray(result["q1_latency_ms"]["llm"], dtype=float),
+        "exact_q1": np.asarray(
+            result["q1_latency_ms"]["exact_reg"], dtype=float
+        ),
+        "llm_q2": np.asarray(result["q2_latency_ms"]["llm"], dtype=float),
+        "exact_q2": np.asarray(
+            result["q2_latency_ms"]["exact_reg"], dtype=float
+        ),
+        "plr_q2": np.asarray(result["q2_latency_ms"]["plr"], dtype=float),
+    }
+
+
+def _check(result: dict, params: dict) -> list[str]:
+    """Gate the figure's shape; return failed gates (empty when green)."""
+    series = _series(result)
+    failures: list[str] = []
+    for name, values in series.items():
+        if not np.all(np.isfinite(values)):
+            failures.append(f"{name}: non-finite latency in the sweep")
+            return failures
+    for panel in ("q1", "q2"):
+        llm, exact = series[f"llm_{panel}"], series[f"exact_{panel}"]
+        if not llm[-1] < exact[-1] / SPEEDUP_FLOOR:
+            failures.append(
+                f"{panel.upper()}: model latency {llm[-1]:.3f} ms is not"
+                f" {SPEEDUP_FLOOR:.0f}x under exact {exact[-1]:.3f} ms at"
+                " the largest N"
+            )
+    if not series["plr_q2"][-1] > series["exact_q2"][-1]:
+        failures.append(
+            "Q2: PLR is not the slowest method at the largest N"
+        )
+    llm_q1 = series["llm_q1"]
+    if not llm_q1.max() < FLATNESS_FACTOR * max(llm_q1.min(), 1e-6):
+        failures.append(
+            f"Q1: model latency is not flat in N ({llm_q1.min():.4f} .."
+            f" {llm_q1.max():.4f} ms)"
+        )
+    exact_q1 = series["exact_q1"]
+    if len(exact_q1) > 1 and not exact_q1[-1] > exact_q1[0]:
+        failures.append(
+            "Q1: exact latency did not grow from the smallest to the"
+            " largest dataset"
+        )
+    return failures
+
+
+def _extract(result: dict) -> dict:
+    series = _series(result)
+    return {
+        "llm_q1_ms_largest": float(series["llm_q1"][-1]),
+        "exact_q1_ms_largest": float(series["exact_q1"][-1]),
+        "llm_q2_ms_largest": float(series["llm_q2"][-1]),
+        "exact_q2_ms_largest": float(series["exact_q2"][-1]),
+        "plr_q2_ms_largest": float(series["plr_q2"][-1]),
+        "q1_speedup_largest": float(
+            series["exact_q1"][-1] / max(series["llm_q1"][-1], 1e-9)
+        ),
+        "q2_speedup_largest": float(
+            series["exact_q2"][-1] / max(series["llm_q2"][-1], 1e-9)
+        ),
+    }
+
+
+def _format(result: dict) -> str:
     q1 = format_series_table(
         "rows",
         result["dataset_sizes"],
@@ -51,33 +147,47 @@ def test_fig12_latency_vs_dataset_size(scalability_result, benchmark, record_tab
         },
         title="Figure 12 (right) — Q2 latency vs dataset size",
     )
-    record_table("fig12_scalability", q1 + "\n\n" + q2)
+    return q1 + "\n\n" + q2
 
-    llm_q1 = np.asarray(result["q1_latency_ms"]["llm"])
-    exact_q1 = np.asarray(result["q1_latency_ms"]["exact_reg"])
-    llm_q2 = np.asarray(result["q2_latency_ms"]["llm"])
-    exact_q2 = np.asarray(result["q2_latency_ms"]["exact_reg"])
-    plr_q2 = np.asarray(result["q2_latency_ms"]["plr"])
 
-    # Shape: at the largest dataset the model is much faster than exact
-    # execution for both query types, and PLR is the slowest Q2 method.
-    assert llm_q1[-1] < exact_q1[-1] / 3.0
-    assert llm_q2[-1] < exact_q2[-1] / 3.0
-    assert plr_q2[-1] > exact_q2[-1]
-    # Shape: LLM latency is flat in N (bounded variation across sizes) while
-    # exact execution grows from the smallest to the largest dataset.
-    assert llm_q1.max() < 10 * max(llm_q1.min(), 1e-6)
-    assert exact_q1[-1] > exact_q1[0]
+SPEC = BenchmarkSpec(
+    name="fig12",
+    title="Figure 12 — query latency vs dataset size",
+    artifact="fig12",
+    run=run_fig12,
+    # Absolute latencies vary with the host; the speedups are the
+    # figure's claim and gate the trajectory.
+    metrics={
+        "llm_q1_ms_largest": "lower",
+        "exact_q1_ms_largest": "info",
+        "llm_q2_ms_largest": "lower",
+        "exact_q2_ms_largest": "info",
+        "plr_q2_ms_largest": "info",
+        "q1_speedup_largest": "higher",
+        "q2_speedup_largest": "higher",
+    },
+    extract=_extract,
+    check=_check,
+    format=_format,
+    default_params={
+        "dataset_sizes": DATASET_SIZES,
+        "dimension": 2,
+        "training_queries": 800,
+        "measured_queries": 30,
+        "seed": 7,
+    },
+    smoke_params={
+        "dataset_sizes": (5_000, 20_000),
+        "training_queries": 250,
+        "measured_queries": 10,
+    },
+)
 
-    # Timer-based measurement of the trained model's Q1 latency (largest N).
-    context = build_context(
-        "R2",
-        dimension=2,
-        dataset_size=DATASET_SIZES[-1],
-        training_queries=400,
-        testing_queries=40,
-        seed=11,
-    )
-    model, _ = context.train_model()
-    query = context.testing.queries[0]
-    benchmark(model.predict_mean, query)
+
+def test_fig12_benchmark(results_dir, record_table):
+    """Benchmark-suite entry point: asserts the figure-shape gates."""
+    pytest_entry(SPEC, results_dir, record_table)
+
+
+if __name__ == "__main__":
+    raise SystemExit(script_main(SPEC))

@@ -31,13 +31,23 @@ class ResultsStore:
         self.skipped_lines = 0
 
     def append(self, record: RunRecord) -> None:
-        """Append one record as a single JSON line (creates the file)."""
+        """Append one record as a single JSON line (creates the file).
+
+        The whole line goes down in one ``os.write`` to an ``O_APPEND``
+        descriptor: POSIX makes the seek-to-end and the write atomic per
+        call, so concurrent benchmark processes appending to one store can
+        interleave *lines* but never tear one line's bytes into another —
+        the buffered-``write()`` path had no such guarantee once the line
+        crossed the stdio buffer size.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        line = record.to_json() + "\n"
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line)
-            handle.flush()
-            os.fsync(handle.fileno())
+        line = (record.to_json() + "\n").encode("utf-8")
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     def extend(self, records: Iterable[RunRecord]) -> None:
         for record in records:

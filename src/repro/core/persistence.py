@@ -17,7 +17,13 @@ from ..exceptions import ModelPersistenceError, NotFittedError
 from .model import LLMModel
 from .prototypes import LocalLinearMap
 
-__all__ = ["save_model", "load_model", "model_to_dict", "model_from_dict"]
+__all__ = [
+    "save_model",
+    "load_model",
+    "model_to_dict",
+    "model_from_dict",
+    "write_json_atomic",
+]
 
 #: Format marker written to every persisted model file.
 #:
@@ -102,27 +108,50 @@ def model_from_dict(payload: dict) -> LLMModel:
     return model
 
 
-def save_model(model: LLMModel, path: str | Path) -> Path:
-    """Write a trained model to a JSON file and return the path.
+def write_json_atomic(
+    path: str | Path,
+    payload: dict,
+    *,
+    indent: int | None = 2,
+    pre_replace_hook=None,
+) -> Path:
+    """Atomically write a JSON payload: staging file + fsync + ``os.replace``.
 
-    The write is *atomic*: the payload goes to a same-directory temporary
-    file that is ``os.replace``-d onto the target, so a crash mid-write
-    never leaves a truncated model file where a readable one (old or new)
-    is expected — the invariant the hot-swap/rollback lifecycle relies on.
+    The shared crash-safety idiom of every durable artifact in the library
+    (persisted models, service checkpoints): a crash mid-write never
+    leaves a truncated file where a readable one is expected, because the
+    payload lands in a same-directory temporary file that is renamed onto
+    the target only after a successful fsync.  ``pre_replace_hook``, when
+    given, runs between the staged write and the rename — the durability
+    fault tests use it to crash "mid-checkpoint" and assert the target is
+    untouched.
     """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     staging = target.with_name(target.name + ".tmp")
     try:
         with staging.open("w", encoding="utf-8") as handle:
-            json.dump(model_to_dict(model), handle, indent=2)
+            json.dump(payload, handle, indent=indent)
             handle.flush()
             os.fsync(handle.fileno())
+        if pre_replace_hook is not None:
+            pre_replace_hook()
         os.replace(staging, target)
     finally:
         if staging.exists():  # a failed dump leaves no stray staging file
             staging.unlink()
     return target
+
+
+def save_model(model: LLMModel, path: str | Path) -> Path:
+    """Write a trained model to a JSON file and return the path.
+
+    The write is *atomic* (:func:`write_json_atomic`), so a crash
+    mid-write never leaves a truncated model file where a readable one
+    (old or new) is expected — the invariant the hot-swap/rollback
+    lifecycle relies on.
+    """
+    return write_json_atomic(Path(path), model_to_dict(model))
 
 
 def load_model(path: str | Path) -> LLMModel:

@@ -40,7 +40,15 @@ during the training phase.  This subpackage provides that substrate:
   incremental retraining on the recorded recent query stream, versioned
   persistence (:class:`~repro.dbms.lifecycle.ModelVersionStore`), atomic
   hot-swap under concurrent serving, and probe-gated automatic rollback,
-  with events published through :class:`~repro.dbms.observer.ObserverHub`.
+  with events published through :class:`~repro.dbms.observer.ObserverHub`,
+* :class:`~repro.dbms.durability.ServiceCheckpointer` /
+  :class:`~repro.dbms.durability.RecoveryManager` — durability across
+  restarts: atomic checksummed checkpoints of full service state (registry
+  manifest, query-log ring buffers, serving statistics, drift windows), an
+  append-only state journal of registry events between checkpoints, and
+  crash recovery that rebuilds the stack from the newest valid checkpoint
+  plus journal replay, falling back checkpoint-by-checkpoint on
+  corruption.
 """
 
 from .schema import ColumnSpec, TableSchema, schema_for_dataset
@@ -83,6 +91,12 @@ from .lifecycle import (
     ModelManager,
     ModelVersionStore,
 )
+from .durability import (
+    RecoveredService,
+    RecoveryManager,
+    ServiceCheckpointer,
+    StateJournal,
+)
 
 __all__ = [
     "ColumnSpec",
@@ -121,6 +135,10 @@ __all__ = [
     "ModelManager",
     "ModelVersionStore",
     "LifecycleScheduler",
+    "ServiceCheckpointer",
+    "StateJournal",
+    "RecoveryManager",
+    "RecoveredService",
     "ParsedStatement",
     "parse_script",
     "parse_statement",

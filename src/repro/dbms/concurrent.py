@@ -59,13 +59,14 @@ import itertools
 import threading
 import time
 from collections import OrderedDict
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from ..exceptions import (
     ConfigurationError,
     EmptySubspaceError,
+    ServiceClosedError,
     ServiceOverloadedError,
     SQLSyntaxError,
 )
@@ -365,7 +366,9 @@ class ConcurrentAnalyticsService:
         self._groups: dict[tuple[str, str, str], _PendingGroup] = {}
         self._groups_lock = threading.Lock()
         self._pending = 0
-        self._pending_lock = threading.Lock()
+        self._pending_cond = threading.Condition()
+        self._outstanding: set[Future] = set()
+        self._outstanding_lock = threading.Lock()
         self._origins = itertools.count()
         self._closed = False
         self._statistics: dict[str, ServingStatistics] = {}
@@ -421,8 +424,13 @@ class ConcurrentAnalyticsService:
     @property
     def pending_statements(self) -> int:
         """Statements admitted but not yet answered."""
-        with self._pending_lock:
+        with self._pending_cond:
             return self._pending
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
 
     def register_engine(self, table: str, engine: object) -> None:
         """Attach an exact engine (delegates; bumps the registry epoch)."""
@@ -438,10 +446,70 @@ class ConcurrentAnalyticsService:
         """Atomically swap a table's model (delegates to the inner service)."""
         return self._service.swap_model(table, model, version=version)
 
-    def close(self, *, wait: bool = True) -> None:
-        """Stop accepting work and shut the worker pool down."""
+    def close(
+        self, *, wait: bool = True, drain_seconds: float | None = None
+    ) -> None:
+        """Stop accepting work, drain admitted statements, shut the pool down.
+
+        New submissions fail synchronously with
+        :class:`~repro.exceptions.ServiceClosedError` from the moment this
+        is called.  Statements already admitted are *drained*: every
+        coalescer group still buffering flushes immediately (its window no
+        longer matters — nothing new can join), and the close blocks until
+        they answer, bounded by ``drain_seconds`` when given (``wait=True``
+        with no bound waits them out; ``wait=False`` skips waiting
+        entirely).  Any future still unresolved when the drain window ends
+        gets :class:`~repro.exceptions.ServiceClosedError` attached — a
+        :class:`ScriptFuture` therefore always resolves across a shutdown,
+        never hangs.  Idempotent.
+        """
+        first_close = not self._closed
         self._closed = True
-        self._pool.shutdown(wait=wait, cancel_futures=False)
+        if first_close:
+            # Flush whatever the coalescer is still buffering: no new
+            # arrivals can top these groups up, so their windows are moot.
+            with self._groups_lock:
+                batches = [
+                    (key, group.entries)
+                    for key, group in self._groups.items()
+                    if group.entries
+                ]
+                for _, group in self._groups.items():
+                    group.entries = []
+            for key, batch in batches:
+                try:
+                    self._pool.submit(self._run_flush, key, batch)
+                except RuntimeError:  # pool already gone: answer inline
+                    self._run_flush(key, batch)
+        if wait:
+            deadline = (
+                None if drain_seconds is None else self._clock() + drain_seconds
+            )
+            with self._pending_cond:
+                while self._pending > 0:
+                    if deadline is None:
+                        self._pending_cond.wait(0.05)
+                        continue
+                    remaining = deadline - self._clock()
+                    if remaining <= 0.0:
+                        break
+                    self._pending_cond.wait(min(remaining, 0.05))
+        # Whatever did not finish inside the drain window resolves with a
+        # typed error instead of hanging its caller forever.
+        with self._outstanding_lock:
+            stragglers = [f for f in self._outstanding if not f.done()]
+            self._outstanding.clear()
+        if stragglers:
+            exc = ServiceClosedError(
+                f"{len(stragglers)} statements were still pending when the "
+                f"concurrent serving front closed"
+            )
+            for future in stragglers:
+                try:
+                    future.set_exception(exc)
+                except InvalidStateError:  # lost a benign race to a flush
+                    pass
+        self._pool.shutdown(wait=wait and not stragglers, cancel_futures=True)
         if self._swap_observer is not None:
             self._service.observers.unsubscribe(self._swap_observer)
             self._swap_observer = None
@@ -514,7 +582,7 @@ class ConcurrentAnalyticsService:
             the script is admitted in that case.
         """
         if self._closed:
-            raise ConfigurationError(
+            raise ServiceClosedError(
                 "the concurrent serving front has been closed"
             )
         if mode not in _MODES:
@@ -568,6 +636,8 @@ class ConcurrentAnalyticsService:
                 futures[position].set_result(result)
         if misses:
             now = self._clock()
+            with self._outstanding_lock:
+                self._outstanding.update(futures[p] for p, _, _ in misses)
             for position, statement, key in misses:
                 entry = _PendingEntry(
                     statement, key, futures[position], origin, now
@@ -615,7 +685,7 @@ class ConcurrentAnalyticsService:
     # admission / cache keys
     # ------------------------------------------------------------------ #
     def _admit(self, count: int) -> None:
-        with self._pending_lock:
+        with self._pending_cond:
             if self._pending + count > self._policy.max_pending_statements:
                 raise ServiceOverloadedError(
                     f"admitting {count} statements would exceed the pending "
@@ -627,8 +697,34 @@ class ConcurrentAnalyticsService:
             self._pending += count
 
     def _release(self, count: int) -> None:
-        with self._pending_lock:
+        with self._pending_cond:
             self._pending -= count
+            if self._pending <= 0:
+                self._pending_cond.notify_all()
+
+    def _resolve(
+        self,
+        future: "Future[StatementResult]",
+        result: StatementResult | None = None,
+        exc: BaseException | None = None,
+    ) -> None:
+        """Resolve a statement future, tolerating a close() that beat us.
+
+        ``close`` attaches :class:`~repro.exceptions.ServiceClosedError`
+        to futures still pending after the drain window; a flush finishing
+        just after loses that race benignly — the caller already has a
+        resolved (failed) future, and re-resolution would raise
+        :class:`concurrent.futures.InvalidStateError`.
+        """
+        with self._outstanding_lock:
+            self._outstanding.discard(future)
+        try:
+            if exc is not None:
+                future.set_exception(exc)
+            else:
+                future.set_result(result)
+        except InvalidStateError:
+            pass
 
     def _cache_key(self, statement: ParsedStatement, mode: str) -> tuple | None:
         """The versioned cache key of a statement, ``None`` when uncacheable."""
@@ -663,16 +759,41 @@ class ConcurrentAnalyticsService:
             if group is None:
                 group = self._groups[group_key] = _PendingGroup()
             group.entries.append(entry)
-            if len(group.entries) >= self._policy.max_batch_statements:
+            if self._closed or (
+                len(group.entries) >= self._policy.max_batch_statements
+            ):
+                # A close() racing this submission may already have drained
+                # the groups; flushing immediately keeps the entry from
+                # being stranded in a buffer nothing will ever flush.
                 batch = group.entries
                 group.entries = []
             elif not group.flush_scheduled:
                 group.flush_scheduled = True
                 schedule = True
-        if batch is not None:
-            self._pool.submit(self._run_flush, group_key, batch)
-        if schedule:
-            self._pool.submit(self._window_flush, group_key)
+        try:
+            if batch is not None:
+                self._pool.submit(self._run_flush, group_key, batch)
+            if schedule:
+                self._pool.submit(self._window_flush, group_key)
+        except RuntimeError:
+            # The pool shut down underneath us: answer the affected
+            # entries with the typed closed error instead of hanging them.
+            if batch is not None:
+                stranded = batch
+            else:
+                with self._groups_lock:
+                    group = self._groups.get(group_key)
+                    stranded = group.entries if group is not None else [entry]
+                    if group is not None:
+                        group.entries = []
+                        group.flush_scheduled = False
+            exc = ServiceClosedError(
+                "the concurrent serving front closed while the statement "
+                "was being enqueued"
+            )
+            for pending in stranded:
+                self._resolve(pending.future, exc=exc)
+            self._release(len(stranded))
 
     def _window_flush(self, group_key: tuple[str, str, str]) -> None:
         window = self._policy.coalesce_window_seconds
@@ -721,7 +842,7 @@ class ConcurrentAnalyticsService:
             # Caller bugs (unknown table, bad configuration) propagate to
             # every waiting caller of this group — and only this group.
             for entry in entries:
-                entry.future.set_exception(exc)
+                self._resolve(entry.future, exc=exc)
             self._release(len(entries))
             return
         except Exception as exc:
@@ -770,5 +891,5 @@ class ConcurrentAnalyticsService:
                 and not result.degraded
             ):
                 self._cache.put(entry.key, result)  # type: ignore[union-attr]
-            entry.future.set_result(result)
+            self._resolve(entry.future, result)
         self._release(len(entries))

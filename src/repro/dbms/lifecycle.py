@@ -52,7 +52,7 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 import numpy as np
 
@@ -168,6 +168,7 @@ class ModelVersionStore:
     def __init__(self, directory: str | Path) -> None:
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
+        self._pins: dict[str, frozenset[int]] = {}
 
     @property
     def directory(self) -> Path:
@@ -216,12 +217,48 @@ class ModelVersionStore:
                 )
         return load_model(self.path_for(table, version))
 
-    def prune(self, table: str, keep: int) -> list[Path]:
-        """Delete all but the newest ``keep`` versions; returns what went."""
+    def pin(self, table: str, versions: "int | Iterable[int] | None") -> None:
+        """Replace the set of versions :meth:`prune` must never delete.
+
+        The durability checkpointer pins every version its retained
+        checkpoint manifests reference, so ``keep_versions`` pruning can
+        never delete the file a crash recovery would need to reload.
+        ``None`` (or an empty iterable) clears the pin set.
+        """
+        if versions is None:
+            self._pins.pop(table, None)
+            return
+        if isinstance(versions, int):
+            versions = (versions,)
+        pinned = frozenset(int(v) for v in versions)
+        if pinned:
+            self._pins[table] = pinned
+        else:
+            self._pins.pop(table, None)
+
+    def pinned(self, table: str) -> frozenset:
+        """The versions currently protected from pruning."""
+        return self._pins.get(table, frozenset())
+
+    def prune(
+        self, table: str, keep: int, *, pinned: "Iterable[int] | None" = None
+    ) -> list[Path]:
+        """Delete all but the newest ``keep`` versions; returns what went.
+
+        Versions pinned via :meth:`pin` (or passed as ``pinned``) are
+        always retained, on top of the newest ``keep`` — a checkpoint
+        manifest's referenced version survives any ``keep_versions``
+        setting.
+        """
         if keep < 1:
             raise ConfigurationError(f"keep must be >= 1, got {keep}")
+        protected = set(self.pinned(table))
+        if pinned is not None:
+            protected.update(int(v) for v in pinned)
         removed: list[Path] = []
         for version in self.versions(table)[:-keep]:
+            if version in protected:
+                continue
             path = self.path_for(table, version)
             path.unlink(missing_ok=True)
             removed.append(path)
@@ -364,6 +401,54 @@ class ModelManager:
             "last_status": state.last_status,
             "model_version": self.service.model_version_for(table),
         }
+
+    # ------------------------------------------------------------------ #
+    # durability: state export / restore
+    # ------------------------------------------------------------------ #
+    def export_state(self, table: str) -> dict:
+        """Serialise a managed table's drift state for a service checkpoint.
+
+        The cooldown is exported as *remaining seconds* rather than the
+        raw ``next_eligible`` instant: the monotonic clock restarts from
+        an arbitrary origin in a new process, so an absolute deadline
+        would be meaningless (or worse, in the past) after a restart.
+        """
+        state = self._state(table)
+        return {
+            "window": [[int(s), int(f)] for s, f in state.window],
+            "consecutive_failures": state.consecutive_failures,
+            "cooldown_remaining": max(0.0, state.next_eligible - self._clock()),
+            "retrain_count": state.retrain_count,
+            "rollback_count": state.rollback_count,
+            "last_status": state.last_status,
+            "store_path": state.store.path if state.store is not None else None,
+            "store_table": state.store_table,
+        }
+
+    def restore_state(
+        self, table: str, payload: dict, *, now: float | None = None
+    ) -> None:
+        """Restore a table's drift state exported by :meth:`export_state`.
+
+        The table must already be under management (:meth:`manage`) so the
+        window deque carries the current policy's ``window_buckets`` and
+        the statistics snapshot reflects the *restored* service — drift
+        detection then continues from the persisted window instead of
+        starting cold.
+        """
+        state = self._state(table)
+        if now is None:
+            now = self._clock()
+        state.window.clear()
+        for statements, fallbacks in payload.get("window", []):
+            state.window.append((int(statements), int(fallbacks)))
+        state.consecutive_failures = int(payload.get("consecutive_failures", 0))
+        remaining = float(payload.get("cooldown_remaining", 0.0))
+        state.next_eligible = now + max(0.0, remaining)
+        state.retrain_count = int(payload.get("retrain_count", 0))
+        state.rollback_count = int(payload.get("rollback_count", 0))
+        state.last_status = str(payload.get("last_status", "idle"))
+        state.snapshot = self.service.statistics_for(table).snapshot()
 
     # ------------------------------------------------------------------ #
     # the watch loop

@@ -503,6 +503,67 @@ class ServingStatistics:
         }
         return {f"{prefix}{name}": value for name, value in metrics.items()}
 
+    def to_dict(self) -> dict:
+        """Serialise every counter (JSON-safe) for the durability checkpoint.
+
+        The unused-sentinel ``min_statement_seconds = inf`` is mapped to
+        ``None`` (JSON has no infinity); :meth:`from_dict` restores it.
+        """
+        return {
+            "statements_executed": self.statements_executed,
+            "batches_executed": self.batches_executed,
+            "model_answered": self.model_answered,
+            "exact_answered": self.exact_answered,
+            "fallback_count": self.fallback_count,
+            "empty_count": self.empty_count,
+            "error_count": self.error_count,
+            "degraded_count": self.degraded_count,
+            "retry_count": self.retry_count,
+            "cache_hits": self.cache_hits,
+            "coalesced_batches": self.coalesced_batches,
+            "coalesce_width_sum": self.coalesce_width_sum,
+            "max_coalesce_width": self.max_coalesce_width,
+            "total_seconds": self.total_seconds,
+            "min_statement_seconds": (
+                None
+                if math.isinf(self.min_statement_seconds)
+                else self.min_statement_seconds
+            ),
+            "max_statement_seconds": self.max_statement_seconds,
+            "latency_counts": [int(c) for c in self.latency.counts],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServingStatistics":
+        """Rebuild statistics serialised by :meth:`to_dict`."""
+        minimum = payload.get("min_statement_seconds")
+        counts = payload.get("latency_counts")
+        return cls(
+            statements_executed=int(payload.get("statements_executed", 0)),
+            batches_executed=int(payload.get("batches_executed", 0)),
+            model_answered=int(payload.get("model_answered", 0)),
+            exact_answered=int(payload.get("exact_answered", 0)),
+            fallback_count=int(payload.get("fallback_count", 0)),
+            empty_count=int(payload.get("empty_count", 0)),
+            error_count=int(payload.get("error_count", 0)),
+            degraded_count=int(payload.get("degraded_count", 0)),
+            retry_count=int(payload.get("retry_count", 0)),
+            cache_hits=int(payload.get("cache_hits", 0)),
+            coalesced_batches=int(payload.get("coalesced_batches", 0)),
+            coalesce_width_sum=int(payload.get("coalesce_width_sum", 0)),
+            max_coalesce_width=int(payload.get("max_coalesce_width", 0)),
+            total_seconds=float(payload.get("total_seconds", 0.0)),
+            min_statement_seconds=(
+                math.inf if minimum is None else float(minimum)
+            ),
+            max_statement_seconds=float(payload.get("max_statement_seconds", 0.0)),
+            latency=(
+                LatencyHistogram()
+                if counts is None
+                else LatencyHistogram(np.asarray(counts, dtype=np.int64))
+            ),
+        )
+
     def merge(self, other: "ServingStatistics") -> None:
         """Fold another statistics object into this one (counters add)."""
         self.statements_executed += other.statements_executed
@@ -675,6 +736,7 @@ class AnalyticsService:
         self._models: dict[str, object] = dict(models or {})
         self._model_versions: dict[str, object] = {}
         self._registry_epochs: dict[str, int] = {}
+        self._engine_bindings: dict[str, tuple[str, str]] = {}
         self._route = route
         self._policy = degradation or DegradationPolicy()
         self._hub = observers or ObserverHub()
@@ -691,10 +753,20 @@ class AnalyticsService:
     # registry / model lifecycle
     # ------------------------------------------------------------------ #
     def register_engine(self, table: str, engine: object) -> None:
-        """Attach an exact engine under a table name."""
+        """Attach an exact engine under a table name.
+
+        A direct registration has no store provenance, so any previously
+        recorded store binding for the table is dropped (the engine can no
+        longer be rebuilt from a path by the recovery manager).  The
+        ``engine.registered`` event carries the binding (or its absence)
+        so the durability journal records registry changes between
+        checkpoints.
+        """
         with self._registry_lock:
             self._engines[table] = engine
+            self._engine_bindings.pop(table, None)
             self._registry_epochs[table] = self._registry_epochs.get(table, 0) + 1
+        self._hub.publish("engine.registered", table, store_path=None, store_table=None)
 
     def register_model(self, table: str, model: object) -> None:
         """Attach a trained model under a table name (unversioned swap)."""
@@ -772,9 +844,44 @@ class AnalyticsService:
         ``table`` overrides the serving name (defaults to the store table
         name); returns the constructed engine.
         """
+        serving_name = table or table_name
         engine = ExactQueryEngine.from_store(store, table_name, use_index=use_index)
-        self.register_engine(table or table_name, engine)
+        with self._registry_lock:
+            self._engines[serving_name] = engine
+            self._engine_bindings[serving_name] = (store.path, table_name)
+            self._registry_epochs[serving_name] = (
+                self._registry_epochs.get(serving_name, 0) + 1
+            )
+        self._hub.publish(
+            "engine.registered",
+            serving_name,
+            store_path=store.path,
+            store_table=table_name,
+        )
         return engine
+
+    def engine_binding_for(self, table: str) -> tuple[str, str] | None:
+        """The ``(store_path, store_table)`` an engine was built from.
+
+        Recorded by :meth:`register_table_from_store` and consumed by the
+        durability checkpoint so a restarted process can rebuild the exact
+        engine from the same store table.  ``None`` for engines registered
+        directly (no rebuildable provenance) — including in-memory stores,
+        whose path ``":memory:"`` is recorded but cannot be reopened.
+        """
+        with self._registry_lock:
+            return self._engine_bindings.get(table)
+
+    def restore_registry_epoch(self, table: str, epoch: int) -> None:
+        """Fast-forward a table's registry epoch to at least ``epoch``.
+
+        Used by recovery so epochs stay monotonic *across* restarts: a
+        concurrent front's answer-cache key minted before the crash can
+        never collide with a post-restart registry state.
+        """
+        with self._registry_lock:
+            if epoch > self._registry_epochs.get(table, 0):
+                self._registry_epochs[table] = int(epoch)
 
     @property
     def tables(self) -> list[str]:
@@ -815,10 +922,17 @@ class AnalyticsService:
                 f"no trained model registered for table {table!r}"
             ) from exc
 
-    def close(self) -> None:
-        """Release the timeout worker pool (if one was ever started)."""
+    def close(self, *, drain_seconds: float | None = None) -> None:
+        """Release the timeout worker pool (if one was ever started).
+
+        ``drain_seconds`` requests a graceful drain: in-flight timeout
+        dispatches are waited for (bounded by the caller's patience — the
+        synchronous service has no queue of its own, so waiting for the
+        pool is the whole drain) instead of being cancelled outright.
+        """
         if self._timeout_pool is not None:
-            self._timeout_pool.shutdown(wait=False, cancel_futures=True)
+            wait = drain_seconds is not None and drain_seconds > 0.0
+            self._timeout_pool.shutdown(wait=wait, cancel_futures=not wait)
             self._timeout_pool = None
 
     # ------------------------------------------------------------------ #
@@ -836,6 +950,17 @@ class AnalyticsService:
         if self._query_log_size == 0 or table not in self._query_logs:
             return []
         return self.query_log_for(table).snapshot()
+
+    def restore_query_log(self, table: str, log: QueryLog) -> None:
+        """Install a rebuilt recent-query log (recovery path).
+
+        Replaces the table's log wholesale so a restarted service resumes
+        with the same sliding window (entries *and* lifetime count) the
+        checkpoint captured, instead of re-recording the restored queries
+        as new traffic.
+        """
+        with self._stats_lock:
+            self._query_logs[table] = log
 
     # ------------------------------------------------------------------ #
     # statistics / breakers

@@ -104,6 +104,29 @@ class LifecycleError(ReproError):
     """A model-lifecycle operation (drift retrain, swap, rollback) failed."""
 
 
+class CheckpointCorruptError(ReproError):
+    """A service checkpoint (or its referenced state) failed validation.
+
+    Raised when a checkpoint file is missing, unparseable, fails its
+    payload checksum, has an unsupported format version, or references a
+    model version file that no longer loads.  ``path`` carries the
+    offending file and ``checkpoint_version`` the manifest version when it
+    could be read.  Recovery treats this as "try the previous checkpoint"
+    — a corrupt manifest never yields a half-recovered registry.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: object = None,
+        checkpoint_version: object = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.checkpoint_version = checkpoint_version
+
+
 class InjectedFaultError(ReproError):
     """Default error raised by an armed fault-injection point (testing)."""
 
@@ -118,6 +141,18 @@ class SQLSyntaxError(ReproError):
 
 class ConfigurationError(ReproError):
     """A configuration value is out of its valid range."""
+
+
+class ServiceClosedError(ConfigurationError):
+    """Work was submitted to (or left pending in) a closed serving front.
+
+    Raised synchronously by submissions after ``close()`` and attached to
+    the futures of statements that were admitted but could not complete
+    within the close drain window — a ``ScriptFuture`` therefore always
+    resolves, never hangs, across a shutdown.  Subclasses
+    :class:`ConfigurationError` to preserve the original closed-front
+    contract for existing callers.
+    """
 
 
 class ConvergenceError(ReproError):

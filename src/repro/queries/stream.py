@@ -118,6 +118,43 @@ class QueryLog:
         with self._lock:
             self._entries.clear()
 
+    def to_dict(self) -> dict:
+        """Serialise the log (capacity, lifetime count, retained queries).
+
+        The durability checkpointer persists each table's log with this so
+        a restarted service resumes with the *same* recent-traffic window
+        the lifecycle manager would otherwise have to rebuild from live
+        traffic before it could retrain.
+        """
+        with self._lock:
+            return {
+                "capacity": self._capacity,
+                "total_recorded": self._recorded,
+                "queries": [
+                    {
+                        "center": [float(v) for v in query.center],
+                        "radius": float(query.radius),
+                        "norm_order": float(query.norm_order),
+                    }
+                    for query in self._entries
+                ],
+            }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QueryLog":
+        """Rebuild a log serialised by :meth:`to_dict` (order preserved)."""
+        log = cls(int(payload.get("capacity", 256)))
+        for entry in payload.get("queries", []):
+            log._entries.append(
+                Query(
+                    center=np.asarray(entry["center"], dtype=float),
+                    radius=float(entry["radius"]),
+                    norm_order=float(entry.get("norm_order", 2.0)),
+                )
+            )
+        log._recorded = int(payload.get("total_recorded", len(log._entries)))
+        return log
+
 
 @dataclass(frozen=True)
 class LabelledWorkload:

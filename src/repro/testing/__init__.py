@@ -12,7 +12,9 @@ from .faults import (
     FaultInjector,
     FaultyEngine,
     FaultyModel,
+    corrupt_checkpoint_file,
     corrupt_model_file,
+    truncate_journal,
 )
 
 __all__ = [
@@ -21,4 +23,6 @@ __all__ = [
     "FaultyEngine",
     "FaultyModel",
     "corrupt_model_file",
+    "corrupt_checkpoint_file",
+    "truncate_journal",
 ]

@@ -36,7 +36,10 @@ __all__ = [
     "FaultyEngine",
     "FaultyModel",
     "corrupt_model_file",
+    "corrupt_checkpoint_file",
+    "truncate_journal",
     "CORRUPTION_MODES",
+    "CHECKPOINT_CORRUPTION_MODES",
 ]
 
 
@@ -317,4 +320,84 @@ def corrupt_model_file(path: str | Path, mode: str = "truncate") -> Path:
         payload = json.loads(target.read_text(encoding="utf-8"))
         payload.pop("dimension", None)
         target.write_text(json.dumps(payload), encoding="utf-8")
+    return target
+
+
+#: Checkpoint-manifest corruption modes of :func:`corrupt_checkpoint_file`.
+CHECKPOINT_CORRUPTION_MODES = (
+    "truncate",
+    "garbage",
+    "bad_checksum",
+    "bad_version",
+)
+
+
+def corrupt_checkpoint_file(path: str | Path, mode: str = "truncate") -> Path:
+    """Damage a durability checkpoint manifest in place (recovery drills).
+
+    Modes
+    -----
+    ``"truncate"``
+        Keep the first half of the bytes — a torn manifest as a
+        *non-atomic* writer would leave it (the atomic writer never does;
+        this is the failure the checksum+rename design defends against).
+    ``"garbage"``
+        Replace the content with non-JSON bytes.
+    ``"bad_checksum"``
+        Keep a structurally valid manifest whose payload no longer
+        matches its checksum — silent bit rot or tampering.
+    ``"bad_version"``
+        Stamp an unsupported manifest ``format_version``.
+
+    Every mode must make :meth:`RecoveryManager.load_checkpoint` raise
+    :class:`~repro.exceptions.CheckpointCorruptError`, sending recovery to
+    the previous checkpoint.
+    """
+    import json
+
+    target = Path(path)
+    if mode not in CHECKPOINT_CORRUPTION_MODES:
+        raise ValueError(
+            f"unknown corruption mode {mode!r}; expected one of "
+            f"{CHECKPOINT_CORRUPTION_MODES}"
+        )
+    if mode == "truncate":
+        data = target.read_bytes()
+        target.write_bytes(data[: max(1, len(data) // 2)])
+    elif mode == "garbage":
+        target.write_bytes(b"\x00\xffnot-a-checkpoint\x00" * 8)
+    elif mode == "bad_checksum":
+        manifest = json.loads(target.read_text(encoding="utf-8"))
+        tables = manifest.get("payload", {}).get("tables", {})
+        for entry in tables.values():
+            entry["registry_epoch"] = int(entry.get("registry_epoch", 0)) + 999
+            break
+        else:
+            manifest.setdefault("payload", {})["_rot"] = True
+        target.write_text(json.dumps(manifest), encoding="utf-8")
+    else:  # bad_version
+        manifest = json.loads(target.read_text(encoding="utf-8"))
+        manifest["format_version"] = 9999
+        target.write_text(json.dumps(manifest), encoding="utf-8")
+    return target
+
+
+def truncate_journal(
+    path: str | Path, *, keep_lines: int = 0, tear_bytes: int = 0
+) -> Path:
+    """Truncate a state journal as a crash mid-append would.
+
+    Keeps the first ``keep_lines`` complete lines; ``tear_bytes`` then
+    appends that many bytes of the *next* line without its terminator —
+    the torn tail a crashed ``O_APPEND`` write can leave.  Journal loading
+    must keep every complete line and drop only the tear.
+    """
+    target = Path(path)
+    lines = target.read_bytes().split(b"\n")
+    kept = b"\n".join(lines[:keep_lines])
+    if kept:
+        kept += b"\n"
+    if tear_bytes > 0 and len(lines) > keep_lines:
+        kept += lines[keep_lines][:tear_bytes]
+    target.write_bytes(kept)
     return target

@@ -169,6 +169,48 @@ class TestResultsStore:
         assert [r.metrics["qps"] for r in loaded] == [1.0, 2.0]
         assert store.skipped_lines == 2
 
+    def test_interleaved_writers_never_tear_a_line(self, tmp_path):
+        """Concurrent appenders may interleave *lines* but never bytes.
+
+        Each writer opens its own descriptor (as separate benchmark
+        processes would) and appends records big enough to cross any
+        stdio buffer; every line must load back intact.
+        """
+        import threading
+
+        path = tmp_path / "store.jsonl"
+        writers, per_writer = 6, 40
+        errors: list[BaseException] = []
+
+        def run(worker: int) -> None:
+            try:
+                own = ResultsStore(path)  # its own fd per append
+                for i in range(per_writer):
+                    own.append(
+                        _record(
+                            float(worker * per_writer + i),
+                            config_id=f"w{worker}",
+                            extra_metrics={"pad": float(i)},
+                        )
+                    )
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(w,)) for w in range(writers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        store = ResultsStore(path)
+        loaded = store.load()
+        assert store.skipped_lines == 0  # no torn lines
+        assert len(loaded) == writers * per_writer
+        values = {r.metrics["qps"] for r in loaded}
+        assert len(values) == writers * per_writer
+
     def test_trajectory_filters_by_config_and_environment(self, tmp_path):
         store = ResultsStore(tmp_path / "store.jsonl")
         store.append(_record(1.0, config_id="a"))

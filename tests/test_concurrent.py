@@ -491,3 +491,79 @@ class TestScriptFutureClock:
             # The bounded wait consulted the injected clock, not time.monotonic.
             assert len(reads) > before
         assert all(r.ok for r in results)
+
+
+class TestShutdownDrain:
+    """close() must resolve every ScriptFuture — by result or by a typed
+    ServiceClosedError — never leave one hanging."""
+
+    def test_submit_after_close_raises_typed_error(self, engine, model):
+        from repro.exceptions import ServiceClosedError
+
+        front = ConcurrentAnalyticsService(_inner(engine, model))
+        front.close()
+        assert front.closed
+        with pytest.raises(ServiceClosedError):
+            front.submit_script(_script(1))
+        # still catchable as the historical ConfigurationError
+        assert issubclass(ServiceClosedError, ConfigurationError)
+
+    def test_close_flushes_buffered_groups(self, engine, model):
+        # a coalesce window far longer than the test: without the drain
+        # flush, these futures would only resolve at window expiry
+        front = ConcurrentAnalyticsService(
+            _inner(engine, model),
+            policy=ConcurrencyPolicy(
+                coalesce_window_seconds=60.0, max_batch_statements=64
+            ),
+        )
+        future = front.submit_script(_script(4))
+        assert front.pending_statements > 0
+        front.close(drain_seconds=10.0)
+        results = future.result(timeout=1.0)
+        assert all(r.ok for r in results)
+        assert front.pending_statements == 0
+
+    def test_close_waits_for_in_flight_flush(self, engine, model):
+        injector = FaultInjector()
+        front = ConcurrentAnalyticsService(
+            _inner(engine, model),
+            policy=ConcurrencyPolicy(coalesce_window_seconds=0.005),
+            injector=injector,
+        )
+        injector.arm("concurrent.flush", error=None, delay_seconds=0.2, times=1)
+        future = front.submit_script(_script(2))
+        front.close(drain_seconds=10.0)
+        # the slow flush was allowed to finish inside the drain budget
+        assert all(r.ok for r in future.result(timeout=1.0))
+
+    def test_straggler_gets_typed_error_never_hangs(self, engine, model):
+        from repro.exceptions import ServiceClosedError
+
+        injector = FaultInjector()
+        front = ConcurrentAnalyticsService(
+            _inner(engine, model),
+            policy=ConcurrencyPolicy(coalesce_window_seconds=0.005),
+            injector=injector,
+        )
+        injector.arm("concurrent.flush", error=None, delay_seconds=5.0, times=1)
+        future = front.submit_script(_script(2))
+        # drain budget far below the flush latency: the future must still
+        # resolve promptly, with the typed shutdown error
+        front.close(drain_seconds=0.05)
+        with pytest.raises(ServiceClosedError):
+            future.result(timeout=2.0)
+
+    def test_close_is_idempotent_and_concurrent_safe(self, engine, model):
+        front = ConcurrentAnalyticsService(_inner(engine, model))
+        front.execute_script(_script(2))
+        threads = [
+            threading.Thread(target=front.close, kwargs={"drain_seconds": 1.0})
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        front.close()  # and again, after the race
+        assert front.closed
