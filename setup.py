@@ -1,10 +1,16 @@
 """Setuptools shim for legacy editable installs (offline environments).
 
-The project metadata lives in ``pyproject.toml``; this file only enables
-``pip install -e . --no-use-pep517`` on machines without the ``wheel``
-package.
+This file enables ``pip install -e . --no-use-pep517`` on machines
+without the ``wheel`` package, and carries the package layout (the
+``src/`` tree plus the ``py.typed`` marker that lets type checkers pick
+up the package's inline annotations, PEP 561).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    package_data={"repro": ["py.typed"]},
+)

@@ -1,0 +1,64 @@
+"""Correctness tooling: the repo-specific invariant linter + race detector.
+
+Two pillars, both runnable as ``python -m repro.analysis``:
+
+**Invariant linter** (:mod:`repro.analysis.linter` /
+:mod:`repro.analysis.rules`).  An AST pass enforcing rules derived from
+real past bugs in this repository — raw wall clocks outside the
+injectable-clock seams, bare ``assert`` statements that vanish under
+``python -O``, untyped exceptions in the DBMS tier, broad ``except
+Exception`` handlers that swallow errors without re-publishing them, and
+fsync-after-write discipline on durability paths.  Each rule has a stable
+``REPRO###`` id, per-line ``# noqa: REPRO###`` suppression, and a
+machine-readable JSON report.  See ``docs/ANALYSIS.md`` for the full
+catalogue and the historical bug behind each rule.
+
+**Runtime race detector** (:mod:`repro.analysis.races` /
+:mod:`repro.analysis.instrument`).  An opt-in (``REPRO_RACE_CHECK=1``)
+Eraser-style instrumentation layer: DBMS locks are created through the
+:func:`~repro.analysis.instrument.make_lock` seam, which — when enabled —
+wraps them so every acquisition feeds a lock-acquisition-order graph
+(cycle ⇒ potential deadlock, reported with the stacks of both edges) and
+every registered shared-state touchpoint runs the lockset algorithm
+(attribute mutated under inconsistent locksets by multiple threads ⇒
+candidate race).  Disabled, the seams return plain ``threading`` locks
+and the touchpoints are no-ops.
+"""
+
+from __future__ import annotations
+
+from .instrument import (
+    active_registry,
+    disable,
+    enable,
+    make_lock,
+    make_rlock,
+    note_access,
+    race_check_requested,
+    use_registry,
+)
+from .linter import Finding, lint_paths, lint_source, report_json
+from .races import CheckedLock, DeadlockFinding, RaceFinding, RaceRegistry
+from .rules import DEFAULT_RULES, RULES_BY_CODE, Rule
+
+__all__ = [
+    "Finding",
+    "lint_paths",
+    "lint_source",
+    "report_json",
+    "Rule",
+    "DEFAULT_RULES",
+    "RULES_BY_CODE",
+    "RaceRegistry",
+    "CheckedLock",
+    "RaceFinding",
+    "DeadlockFinding",
+    "active_registry",
+    "enable",
+    "disable",
+    "use_registry",
+    "make_lock",
+    "make_rlock",
+    "note_access",
+    "race_check_requested",
+]

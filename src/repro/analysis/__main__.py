@@ -1,0 +1,15 @@
+"""Entry point for ``python -m repro.analysis``."""
+
+import os
+import sys
+
+from .cli import main
+
+try:
+    status = main()
+except BrokenPipeError:
+    # Downstream pager/head closed the pipe: exit quietly, and hand the
+    # interpreter a writable stdout so its shutdown flush cannot raise.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    status = 1
+raise SystemExit(status)

@@ -1,0 +1,142 @@
+"""The opt-in seams the DBMS tier creates its locks and touchpoints through.
+
+Production code never talks to :class:`~repro.analysis.races.RaceRegistry`
+directly — it calls :func:`make_lock` / :func:`make_rlock` where it would
+have called ``threading.Lock()`` / ``threading.RLock()``, and
+:func:`note_access` at its shared-state mutation points.  With no
+registry active (the default) the lock seams return plain ``threading``
+primitives and :func:`note_access` is a constant-time no-op, so the hot
+path pays one ``is None`` test.
+
+Activation:
+
+* ``REPRO_RACE_CHECK=1`` in the environment activates the global
+  registry the first time this module is imported (so a plain
+  ``REPRO_RACE_CHECK=1 pytest`` run instruments every lock the suite
+  creates), or
+* programmatically via :func:`enable` / :func:`use_registry` — the
+  latter is a context manager that restores the previous registry, which
+  is how the seeded-race tests keep their private findings out of a
+  surrounding ``REPRO_RACE_CHECK=1`` session.
+
+Locks remember the registry that created them, so objects built inside a
+:func:`use_registry` window keep reporting to that private registry for
+their whole life — a fixture's seeded race can never leak into the
+global report.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from types import TracebackType
+from typing import Iterator, Protocol
+
+from .races import RaceRegistry
+
+__all__ = [
+    "LockLike",
+    "race_check_requested",
+    "active_registry",
+    "enable",
+    "disable",
+    "use_registry",
+    "make_lock",
+    "make_rlock",
+    "note_access",
+]
+
+
+class LockLike(Protocol):
+    """What the seams return: a plain or checked lock, structurally."""
+
+    def acquire(self, blocking: bool = ..., timeout: float = ...) -> bool: ...
+
+    def release(self) -> None: ...
+
+    def __enter__(self) -> bool: ...
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool | None: ...
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+_active: RaceRegistry | None = None
+
+
+def race_check_requested() -> bool:
+    """Whether the environment opts into race checking."""
+    return os.environ.get("REPRO_RACE_CHECK", "").strip().lower() in _TRUTHY
+
+
+def active_registry() -> RaceRegistry | None:
+    """The registry currently receiving lock/touchpoint events, if any."""
+    return _active
+
+
+def enable(registry: RaceRegistry | None = None) -> RaceRegistry:
+    """Activate a registry (a fresh one by default); returns it."""
+    global _active
+    if registry is None:
+        registry = _active if _active is not None else RaceRegistry()
+    _active = registry
+    return registry
+
+
+def disable() -> None:
+    """Deactivate race checking; existing checked locks keep reporting
+    to the registry that created them, but new seams return plain locks."""
+    global _active
+    _active = None
+
+
+@contextmanager
+def use_registry(registry: RaceRegistry) -> Iterator[RaceRegistry]:
+    """Temporarily route the seams to ``registry``, then restore."""
+    global _active
+    previous = _active
+    _active = registry
+    try:
+        yield registry
+    finally:
+        _active = previous
+
+
+def make_lock(name: str = "lock") -> LockLike:
+    """``threading.Lock()``, checked when a registry is active."""
+    registry = _active
+    if registry is None:
+        return threading.Lock()
+    return registry.make_lock(name)
+
+
+def make_rlock(name: str = "rlock") -> LockLike:
+    """``threading.RLock()``, checked when a registry is active."""
+    registry = _active
+    if registry is None:
+        return threading.RLock()
+    return registry.make_rlock(name)
+
+
+def note_access(
+    owner: object,
+    attr: str,
+    *,
+    write: bool = True,
+    owner_name: str | None = None,
+) -> None:
+    """Record a shared-state access when a registry is active (else no-op)."""
+    registry = _active
+    if registry is not None:
+        registry.note_access(owner, attr, write=write, owner_name=owner_name)
+
+
+# Importing any instrumented module with REPRO_RACE_CHECK=1 set activates
+# the global registry before the first lock is created.
+if race_check_requested():  # pragma: no cover - exercised via subprocess
+    enable()

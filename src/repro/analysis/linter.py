@@ -1,0 +1,202 @@
+"""The linter engine: file walking, ``# noqa`` suppression, reporting.
+
+The engine is rule-agnostic: it parses each Python file once, hands the
+:class:`LintModule` to every :class:`~repro.analysis.rules.Rule` whose
+scope matches, collects :class:`Finding` objects, and drops the ones the
+source suppresses with a same-line ``# noqa: REPRO###`` comment (a bare
+``# noqa`` suppresses every rule on that line).  Output is either the
+classic ``path:line:col: CODE message`` text or a machine-readable JSON
+report (``--format json``) for CI tooling.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .rules import Rule
+
+__all__ = [
+    "Finding",
+    "LintModule",
+    "parse_source",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "report_json",
+]
+
+#: ``# noqa`` / ``# noqa: REPRO001`` / ``# noqa: REPRO001,REPRO004 - why``
+_NOQA_RE = re.compile(
+    r"#\s*noqa(?::\s*(?P<codes>REPRO\d{3}(?:\s*,\s*REPRO\d{3})*))?",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class LintModule:
+    """One parsed source file, as seen by every rule."""
+
+    path: str
+    module_name: str
+    source: str
+    tree: ast.Module
+    lines: tuple[str, ...]
+
+    def finding(self, rule_code: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule_code,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+def module_name_for(path: str | Path) -> str:
+    """The dotted module name of a file, anchored at a ``src`` directory.
+
+    ``src/repro/dbms/serving.py`` → ``repro.dbms.serving``; files outside a
+    ``src`` tree fall back to their stem, so fixtures still lint (rules
+    scoped to a package simply do not apply to them).
+    """
+    parts = Path(path).with_suffix("").parts
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    elif "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or Path(path).stem
+
+
+def parse_source(
+    source: str, path: str | Path, *, module_name: str | None = None
+) -> LintModule:
+    """Parse one file's source into a :class:`LintModule`."""
+    tree = ast.parse(source, filename=str(path))
+    return LintModule(
+        path=str(path),
+        module_name=module_name or module_name_for(path),
+        source=source,
+        tree=tree,
+        lines=tuple(source.splitlines()),
+    )
+
+
+def _suppressed(module: LintModule, finding: Finding) -> bool:
+    if not 1 <= finding.line <= len(module.lines):
+        return False
+    match = _NOQA_RE.search(module.lines[finding.line - 1])
+    if match is None:
+        return False
+    codes = match.group("codes")
+    if codes is None:
+        return True  # bare ``# noqa`` silences every rule on the line
+    return finding.rule.upper() in {
+        code.strip().upper() for code in codes.split(",")
+    }
+
+
+def lint_source(
+    source: str,
+    path: str | Path = "<string>",
+    *,
+    module_name: str | None = None,
+    rules: "Sequence[Rule] | None" = None,
+) -> list[Finding]:
+    """Lint one source string; ``module_name`` overrides package scoping."""
+    from .rules import DEFAULT_RULES
+
+    module = parse_source(source, path, module_name=module_name)
+    findings: list[Finding] = []
+    for rule in rules if rules is not None else DEFAULT_RULES:
+        if not rule.applies_to(module.module_name):
+            continue
+        findings.extend(rule.check(module))
+    findings = [f for f in findings if not _suppressed(module, f)]
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+    return findings
+
+
+def lint_file(
+    path: str | Path,
+    *,
+    module_name: str | None = None,
+    rules: "Sequence[Rule] | None" = None,
+) -> list[Finding]:
+    source = Path(path).read_text(encoding="utf-8")
+    return lint_source(source, path, module_name=module_name, rules=rules)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen: set[Path] = set()
+    collected: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        candidates = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                collected.append(candidate)
+    return iter(collected)
+
+
+def lint_paths(
+    paths: Iterable[str | Path], *, rules: "Sequence[Rule] | None" = None
+) -> tuple[list[Finding], int]:
+    """Lint files/directories; returns ``(findings, files_checked)``."""
+    findings: list[Finding] = []
+    checked = 0
+    for path in iter_python_files(paths):
+        checked += 1
+        findings.extend(lint_file(path, rules=rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+    return findings, checked
+
+
+def report_json(findings: Sequence[Finding], files_checked: int) -> str:
+    """The machine-readable report consumed by CI tooling."""
+    by_rule: dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    payload = {
+        "files_checked": files_checked,
+        "finding_count": len(findings),
+        "findings_by_rule": dict(sorted(by_rule.items())),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

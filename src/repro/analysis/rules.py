@@ -1,0 +1,358 @@
+"""The lint rules: one class per ``REPRO###`` id, each born from a real bug.
+
+Every rule documents the historical bug that motivated it (``rationale``)
+— these are not style preferences, they are the mechanical form of
+failures this repository has already debugged by hand.  The catalogue
+lives in ``docs/ANALYSIS.md``; suppress a deliberate violation with a
+same-line ``# noqa: REPRO### - reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator, Sequence
+
+from .linter import Finding, LintModule
+
+__all__ = [
+    "Rule",
+    "RawClockRule",
+    "BareAssertRule",
+    "TypedRaiseRule",
+    "SwallowedExceptionRule",
+    "FsyncAfterWriteRule",
+    "DEFAULT_RULES",
+    "RULES_BY_CODE",
+]
+
+
+class Rule:
+    """Base class of every lint rule (pluggable: subclass and register)."""
+
+    code: ClassVar[str] = "REPRO000"
+    name: ClassVar[str] = "abstract-rule"
+    summary: ClassVar[str] = ""
+    rationale: ClassVar[str] = ""
+    #: dotted-module prefixes the rule is scoped to; empty = everywhere
+    scopes: ClassVar[tuple[str, ...]] = ()
+
+    def applies_to(self, module_name: str) -> bool:
+        if not self.scopes:
+            return True
+        return any(
+            module_name == scope or module_name.startswith(scope + ".")
+            for scope in self.scopes
+        )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+def _clock_aliases(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """Names bound to the ``time`` module and to its wall/monotonic clocks."""
+    module_aliases: set[str] = set()
+    function_aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    module_aliases.add(alias.asname or "time")
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in ("time", "monotonic"):
+                    function_aliases.add(alias.asname or alias.name)
+    return module_aliases, function_aliases
+
+
+class RawClockRule(Rule):
+    """REPRO001: no raw ``time.time()``/``time.monotonic()`` calls."""
+
+    code = "REPRO001"
+    name = "raw-clock-call"
+    summary = (
+        "call goes around the injectable-clock seam; take a "
+        "``clock``/``wall_clock`` parameter defaulting to the time "
+        "function instead"
+    )
+    rationale = (
+        "PR 8: ScriptFuture.result computed its deadline from a raw "
+        "time.monotonic() while the rest of the service ran on an "
+        "injected clock, so timeout tests were timing-dependent and a "
+        "frozen test clock silently disarmed the deadline."
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        module_aliases, function_aliases = _clock_aliases(module.tree)
+        if not module_aliases and not function_aliases:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            flagged: str | None = None
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in module_aliases
+                and func.attr in ("time", "monotonic")
+            ):
+                flagged = f"time.{func.attr}"
+            elif isinstance(func, ast.Name) and func.id in function_aliases:
+                flagged = f"time.{func.id}"
+            if flagged is not None:
+                yield module.finding(
+                    self.code,
+                    node,
+                    f"raw {flagged}() call bypasses the injectable clock "
+                    f"seam; accept a clock callable (default {flagged}) "
+                    f"and call that instead",
+                )
+
+
+class BareAssertRule(Rule):
+    """REPRO002: no ``assert`` statements in library code."""
+
+    code = "REPRO002"
+    name = "bare-assert"
+    summary = (
+        "``assert`` vanishes under ``python -O``; raise a typed error "
+        "from repro.exceptions instead"
+    )
+    rationale = (
+        "PR 5: the exact-Q2 empty-answer contract was an assert, so "
+        "running under python -O silently changed the contract from "
+        "'raise on empty subspace' to 'return garbage'."
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assert):
+                yield module.finding(
+                    self.code,
+                    node,
+                    "assert statement is stripped by python -O; raise "
+                    "a typed error (e.g. InternalInvariantError) instead",
+                )
+
+
+#: Builtin exception constructors whose direct ``raise`` the DBMS tier
+#: forbids.  ``NotImplementedError`` stays legal (abstract-method idiom),
+#: and a bare re-``raise`` is always legal.
+_BUILTIN_EXCEPTIONS = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "ValueError",
+        "TypeError",
+        "RuntimeError",
+        "KeyError",
+        "IndexError",
+        "LookupError",
+        "AttributeError",
+        "ArithmeticError",
+        "ZeroDivisionError",
+        "AssertionError",
+        "OSError",
+        "IOError",
+        "StopIteration",
+    }
+)
+
+
+class TypedRaiseRule(Rule):
+    """REPRO003: the DBMS tier raises only typed ``repro.exceptions``."""
+
+    code = "REPRO003"
+    name = "untyped-dbms-raise"
+    summary = (
+        "repro.dbms raises builtin exceptions that callers cannot "
+        "distinguish from bugs; raise a repro.exceptions subclass"
+    )
+    rationale = (
+        "The serving tier's retry / circuit-breaker / degradation "
+        "machinery dispatches on the exception hierarchy "
+        "(TransientEngineError vs caller errors); a builtin raise "
+        "escapes that taxonomy and gets retried or swallowed wrongly."
+    )
+    scopes = ("repro.dbms",)
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name: str | None = None
+            if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                name = exc.func.id
+            elif isinstance(exc, ast.Name):
+                name = exc.id
+            if name in _BUILTIN_EXCEPTIONS:
+                yield module.finding(
+                    self.code,
+                    node,
+                    f"raise {name} in repro.dbms escapes the typed "
+                    f"exception taxonomy; raise a repro.exceptions "
+                    f"subclass instead",
+                )
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True  # bare ``except:``
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in types:
+        if isinstance(node, ast.Name) and node.id in (
+            "Exception",
+            "BaseException",
+        ):
+            return True
+    return False
+
+
+def _handler_disciplined(handler: ast.ExceptHandler) -> bool:
+    """Whether a broad handler re-raises, publishes, or records the error."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            # ``hub.publish(...)`` / ``observers.publish(...)`` — the
+            # ObserverHub seam — and fault-point ``fire`` re-publication.
+            if node.func.attr in ("publish", "fire"):
+                return True
+        targets: Sequence[ast.expr] = ()
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = (node.target,)
+        for target in targets:
+            dotted = ast.unparse(target) if target is not None else ""
+            if "last_error" in dotted or "error_count" in dotted:
+                return True
+    return False
+
+
+class SwallowedExceptionRule(Rule):
+    """REPRO004: broad handlers must re-raise, publish, or record."""
+
+    code = "REPRO004"
+    name = "swallowed-exception"
+    summary = (
+        "``except Exception`` that neither re-raises, publishes a typed "
+        "event to the ObserverHub, nor records a last_error-style field "
+        "makes failures invisible"
+    )
+    rationale = (
+        "The lifecycle/durability tier is built on 'failures never take "
+        "serving down, but they are never silent either': every broad "
+        "handler feeds the ObserverHub or a last_error field so drills "
+        "and dashboards see them.  A silent pass hides real breakage "
+        "(the pre-PR 6 serving loop lost tier failures exactly this way)."
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad_handler(node):
+                continue
+            if _handler_disciplined(node):
+                continue
+            yield module.finding(
+                self.code,
+                node,
+                "broad except swallows the error: re-raise, publish to "
+                "the ObserverHub, or record it on a last_error field "
+                "(or annotate why swallowing is intended)",
+            )
+
+
+def _os_aliases(tree: ast.Module) -> set[str]:
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "os":
+                    aliases.add(alias.asname or "os")
+    return aliases
+
+
+def _calls_in_scope(scope: ast.AST) -> Iterator[ast.Call]:
+    """Calls lexically inside a scope, not descending into nested defs."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class FsyncAfterWriteRule(Rule):
+    """REPRO005: every ``os.write`` scope must also ``os.fsync``."""
+
+    code = "REPRO005"
+    name = "missing-fsync"
+    summary = (
+        "a durability path that os.write()s without os.fsync() in the "
+        "same function leaves the data in the page cache — a crash "
+        "loses an 'already persisted' entry"
+    )
+    rationale = (
+        "PR 9's journal and results store promise crash-safety at line "
+        "granularity; that promise is exactly one forgotten fsync away "
+        "from silently becoming false."
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        aliases = _os_aliases(module.tree)
+        if not aliases:
+            return
+        scopes: list[ast.AST] = [module.tree]
+        scopes.extend(
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            writes: list[ast.Call] = []
+            fsynced = False
+            for call in _calls_in_scope(scope):
+                func = call.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in aliases
+                ):
+                    if func.attr == "write":
+                        writes.append(call)
+                    elif func.attr == "fsync":
+                        fsynced = True
+            if fsynced:
+                continue
+            for call in writes:
+                yield module.finding(
+                    self.code,
+                    call,
+                    "os.write without os.fsync in the same function: the "
+                    "bytes may sit in the page cache across a crash",
+                )
+
+
+DEFAULT_RULES: tuple[Rule, ...] = (
+    RawClockRule(),
+    BareAssertRule(),
+    TypedRaiseRule(),
+    SwallowedExceptionRule(),
+    FsyncAfterWriteRule(),
+)
+
+RULES_BY_CODE: dict[str, Rule] = {rule.code: rule for rule in DEFAULT_RULES}

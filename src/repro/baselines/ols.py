@@ -72,33 +72,35 @@ class OLSRegressor:
         if not self.is_fitted:
             raise NotFittedError("OLSRegressor must be fitted before use")
 
+    def _fitted_coefficients(self) -> np.ndarray:
+        """The coefficient vector, or ``NotFittedError`` before ``fit``."""
+        coefficients = self._coefficients
+        if coefficients is None:
+            raise NotFittedError("OLSRegressor must be fitted before use")
+        return coefficients
+
     @property
     def coefficients(self) -> np.ndarray:
         """The full coefficient vector ``[b0, b1, ..., bd]``."""
-        self._require_fitted()
-        assert self._coefficients is not None
-        return self._coefficients.copy()
+        return self._fitted_coefficients().copy()
 
     @property
     def intercept(self) -> float:
         """The intercept ``b0``."""
-        self._require_fitted()
-        assert self._coefficients is not None
-        return float(self._coefficients[0])
+        return float(self._fitted_coefficients()[0])
 
     @property
     def slope(self) -> np.ndarray:
         """The slope vector ``[b1, ..., bd]``."""
-        self._require_fitted()
-        assert self._coefficients is not None
-        return self._coefficients[1:].copy()
+        return self._fitted_coefficients()[1:].copy()
 
     @property
     def dimension(self) -> int:
         """Input dimensionality the model was fitted on."""
-        self._require_fitted()
-        assert self._dimension is not None
-        return self._dimension
+        dimension = self._dimension
+        if dimension is None:
+            raise NotFittedError("OLSRegressor must be fitted before use")
+        return dimension
 
     @property
     def training_rows(self) -> int:

@@ -127,6 +127,13 @@ class MARSRegressor:
         if not self.is_fitted:
             raise NotFittedError("MARSRegressor must be fitted before use")
 
+    def _fitted_coefficients(self) -> np.ndarray:
+        """The coefficient vector, or ``NotFittedError`` before ``fit``."""
+        coefficients = self._coefficients
+        if coefficients is None:
+            raise NotFittedError("MARSRegressor must be fitted before use")
+        return coefficients
+
     @property
     def basis_functions(self) -> list[BasisFunction]:
         """The retained hinge basis functions (after pruning)."""
@@ -136,15 +143,14 @@ class MARSRegressor:
     @property
     def coefficients(self) -> np.ndarray:
         """Coefficients ``[c0, c1, ...]`` aligned with constant + basis terms."""
-        self._require_fitted()
-        assert self._coefficients is not None
-        return self._coefficients.copy()
+        return self._fitted_coefficients().copy()
 
     @property
     def dimension(self) -> int:
-        self._require_fitted()
-        assert self._dimension is not None
-        return self._dimension
+        dimension = self._dimension
+        if dimension is None:
+            raise NotFittedError("MARSRegressor must be fitted before use")
+        return dimension
 
     @property
     def knot_count(self) -> int:
@@ -262,7 +268,8 @@ class MARSRegressor:
                 trial_gcv = self._gcv(trial_rss, n_rows, len(trial))
                 if best_removal is None or trial_gcv < best_removal[0]:
                     best_removal = (trial_gcv, trial)
-            assert best_removal is not None
+            if best_removal is None:
+                break  # unreachable: ``current`` is non-empty
             current = best_removal[1]
             if best_removal[0] <= best_gcv:
                 best_gcv = best_removal[0]
@@ -281,8 +288,7 @@ class MARSRegressor:
                 f"model expects dimension {self.dimension}, got {x.shape[1]}"
             )
         design = self._design_matrix(x, self._basis)
-        assert self._coefficients is not None
-        return design @ self._coefficients
+        return design @ self._fitted_coefficients()
 
     def r_squared(self, inputs: np.ndarray, outputs: np.ndarray) -> float:
         """Coefficient of determination over a dataset."""

@@ -157,7 +157,11 @@ def pytest_entry(
     )
     if record_table is not None:
         record_table(f"BENCH_{spec.artifact}", spec.format_result(result))
-    assert not record.gate_failures, "; ".join(record.gate_failures)
+    if record.gate_failures:
+        # The documented contract: gate failures surface as AssertionError
+        # so pytest reports them as ordinary test failures (and the check
+        # survives ``python -O``, which strips a plain assert).
+        raise AssertionError("; ".join(record.gate_failures))
     return record, result
 
 

@@ -23,6 +23,7 @@ from ..config import ModelConfig, TrainingConfig
 from ..exceptions import (
     ConfigurationError,
     DimensionalityMismatchError,
+    InternalInvariantError,
     NotFittedError,
 )
 from ..queries.query import Query, QueryResultPair
@@ -212,7 +213,10 @@ class LLMModel:
             )
         if self._frozen:
             record = self._tracker.last_record
-            assert record is not None
+            if record is None:
+                raise InternalInvariantError(
+                    "model froze without a convergence record"
+                )
             return record
 
         record = self._kernel.process_pair(query.to_vector(), float(answer))

@@ -18,7 +18,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..exceptions import DimensionalityMismatchError, InvalidQueryError
+from ..exceptions import (
+    DimensionalityMismatchError,
+    InternalInvariantError,
+    InvalidQueryError,
+    NotFittedError,
+)
 from ..queries.query import Query
 
 __all__ = ["LocalLinearMap", "RegressionPlane", "LocalModelParameters"]
@@ -425,7 +430,10 @@ class LocalModelParameters:
         """The live ``(K, d + 1)`` prototype matrix as a read-only view."""
         if not self.maps:
             return np.empty((0, 0))
-        assert self._store is not None
+        if self._store is None:
+            raise InternalInvariantError(
+                "parameter set has prototypes but no backing store"
+            )
         view = self._store[: len(self.maps)]
         view.setflags(write=False)
         return view
@@ -442,8 +450,12 @@ class LocalModelParameters:
         them after any growth event.
         """
         count = len(self.maps)
-        assert self._store is not None, "no prototypes yet"
-        assert self._slope_store is not None and self._scalar_store is not None
+        if self._store is None:
+            raise NotFittedError("parameter set has no prototypes yet")
+        if self._slope_store is None or self._scalar_store is None:
+            raise InternalInvariantError(
+                "prototype store exists without slope/scalar stores"
+            )
         return (
             self._store[:count],
             self._slope_store[:count],
@@ -477,7 +489,10 @@ class LocalModelParameters:
                     self._slope_store[index],
                     self._scalar_store[index],
                 )
-        assert self._slope_store is not None and self._scalar_store is not None
+        if self._slope_store is None or self._scalar_store is None:
+            raise InternalInvariantError(
+                "prototype store exists without slope/scalar stores"
+            )
         self._store[count] = row
         self._slope_store[count] = slope_row
         self._scalar_store[count] = scalar_row

@@ -43,15 +43,17 @@ class MinMaxScaler:
 
     @property
     def data_min(self) -> np.ndarray:
-        self._require_fitted()
-        assert self._data_min is not None
-        return self._data_min
+        data_min = self._data_min
+        if data_min is None:
+            raise NotFittedError("MinMaxScaler must be fitted before use")
+        return data_min
 
     @property
     def data_max(self) -> np.ndarray:
-        self._require_fitted()
-        assert self._data_max is not None
-        return self._data_max
+        data_max = self._data_max
+        if data_max is None:
+            raise NotFittedError("MinMaxScaler must be fitted before use")
+        return data_max
 
     def fit(self, data: np.ndarray) -> "MinMaxScaler":
         """Record per-column minima and maxima of a 2-D array."""

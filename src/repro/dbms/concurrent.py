@@ -63,6 +63,7 @@ from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
+from ..analysis.instrument import make_lock, note_access
 from ..exceptions import (
     ConfigurationError,
     EmptySubspaceError,
@@ -185,7 +186,7 @@ class AnswerCache:
         self._entries: OrderedDict[tuple, tuple[float, StatementResult]] = (
             OrderedDict()
         )
-        self._lock = threading.Lock()
+        self._lock = make_lock("concurrent.AnswerCache")
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -202,6 +203,7 @@ class AnswerCache:
     def get(self, key: tuple) -> StatementResult | None:
         """The cached result under ``key``, or ``None`` (miss / expired)."""
         with self._lock:
+            note_access(self, "entries")
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
@@ -221,6 +223,7 @@ class AnswerCache:
             self._clock() + self._ttl if self._ttl is not None else float("inf")
         )
         with self._lock:
+            note_access(self, "entries")
             if key in self._entries:
                 self._entries.move_to_end(key)
             self._entries[key] = (expires, result)
@@ -231,6 +234,7 @@ class AnswerCache:
     def invalidate(self, table: str | None = None) -> int:
         """Drop one table's entries (or everything); returns the count."""
         with self._lock:
+            note_access(self, "entries")
             if table is None:
                 dropped = len(self._entries)
                 self._entries.clear()
@@ -364,15 +368,21 @@ class ConcurrentAnalyticsService:
             thread_name_prefix="repro-concurrent",
         )
         self._groups: dict[tuple[str, str, str], _PendingGroup] = {}
-        self._groups_lock = threading.Lock()
+        self._groups_lock = make_lock(
+            "concurrent.ConcurrentAnalyticsService.groups"
+        )
         self._pending = 0
         self._pending_cond = threading.Condition()
         self._outstanding: set[Future] = set()
-        self._outstanding_lock = threading.Lock()
+        self._outstanding_lock = make_lock(
+            "concurrent.ConcurrentAnalyticsService.outstanding"
+        )
         self._origins = itertools.count()
         self._closed = False
         self._statistics: dict[str, ServingStatistics] = {}
-        self._stats_lock = threading.Lock()
+        self._stats_lock = make_lock(
+            "concurrent.ConcurrentAnalyticsService.stats"
+        )
         self._cache: AnswerCache | None = None
         self._swap_observer = None
         if self._policy.cache_capacity > 0:
@@ -469,6 +479,7 @@ class ConcurrentAnalyticsService:
             # Flush whatever the coalescer is still buffering: no new
             # arrivals can top these groups up, so their windows are moot.
             with self._groups_lock:
+                note_access(self, "groups")
                 batches = [
                     (key, group.entries)
                     for key, group in self._groups.items()
@@ -497,6 +508,7 @@ class ConcurrentAnalyticsService:
         # Whatever did not finish inside the drain window resolves with a
         # typed error instead of hanging its caller forever.
         with self._outstanding_lock:
+            note_access(self, "outstanding")
             stragglers = [f for f in self._outstanding if not f.done()]
             self._outstanding.clear()
         if stragglers:
@@ -637,6 +649,7 @@ class ConcurrentAnalyticsService:
         if misses:
             now = self._clock()
             with self._outstanding_lock:
+                note_access(self, "outstanding")
                 self._outstanding.update(futures[p] for p, _, _ in misses)
             for position, statement, key in misses:
                 entry = _PendingEntry(
@@ -717,6 +730,7 @@ class ConcurrentAnalyticsService:
         :class:`concurrent.futures.InvalidStateError`.
         """
         with self._outstanding_lock:
+            note_access(self, "outstanding")
             self._outstanding.discard(future)
         try:
             if exc is not None:
@@ -755,6 +769,7 @@ class ConcurrentAnalyticsService:
         batch: list[_PendingEntry] | None = None
         schedule = False
         with self._groups_lock:
+            note_access(self, "groups")
             group = self._groups.get(group_key)
             if group is None:
                 group = self._groups[group_key] = _PendingGroup()
@@ -782,6 +797,7 @@ class ConcurrentAnalyticsService:
                 stranded = batch
             else:
                 with self._groups_lock:
+                    note_access(self, "groups")
                     group = self._groups.get(group_key)
                     stranded = group.entries if group is not None else [entry]
                     if group is not None:
@@ -800,6 +816,7 @@ class ConcurrentAnalyticsService:
         if window > 0.0:
             time.sleep(window)
         with self._groups_lock:
+            note_access(self, "groups")
             group = self._groups.get(group_key)
             if group is None:
                 return

@@ -66,6 +66,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
+from ..analysis.instrument import make_lock
 from ..core.persistence import load_model, save_model, write_json_atomic
 from ..exceptions import (
     CheckpointCorruptError,
@@ -143,7 +144,7 @@ class StateJournal:
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
         self._injector = injector
-        self._lock = threading.Lock()
+        self._lock = make_lock("durability.StateJournal")
         self.appended = 0
 
     @property
@@ -262,6 +263,7 @@ class ServiceCheckpointer:
         keep_checkpoints: int = 3,
         injector: "FaultInjector | None" = None,
         clock: Callable[[], float] = time.monotonic,
+        wall_clock: Callable[[], float] = time.time,
     ) -> None:
         if interval_seconds is not None and interval_seconds <= 0.0:
             raise ConfigurationError(
@@ -283,7 +285,8 @@ class ServiceCheckpointer:
         self.keep_checkpoints = int(keep_checkpoints)
         self._injector = injector
         self._clock = clock
-        self._lock = threading.Lock()
+        self._wall_clock = wall_clock
+        self._lock = make_lock("durability.ServiceCheckpointer")
         self._stop_event = threading.Event()
         self._thread: threading.Thread | None = None
         self._journal: StateJournal | None = None
@@ -366,7 +369,7 @@ class ServiceCheckpointer:
         target = self.models_directory / f"{table}.{suffix}.json"
         try:
             save_model(model, target)  # type: ignore[arg-type]
-        except Exception:
+        except Exception:  # noqa: REPRO004 - an unsavable (unfitted) model just means "no file"; the manifest records model_file=None
             return None  # e.g. an unfitted placeholder model
         return str(target)
 
@@ -460,7 +463,7 @@ class ServiceCheckpointer:
             table_payloads[table] = entry
         return {
             "checkpoint_version": version,
-            "wall_time": time.time(),
+            "wall_time": self._wall_clock(),
             "tables": table_payloads,
         }
 
@@ -476,7 +479,7 @@ class ServiceCheckpointer:
                 for entry in manifest["payload"]["tables"].values():
                     if entry.get("model_file"):
                         owned.add(entry["model_file"])
-            except Exception:
+            except Exception:  # noqa: REPRO004 - pruning a corrupt expired manifest is the point; nothing to report
                 pass  # a corrupt old manifest is still prunable
             for entry in entries:
                 if entry.get("model_file"):
@@ -549,7 +552,7 @@ class ServiceCheckpointer:
                     self.service.observers.publish(
                         "checkpoint.error", error=repr(exc)
                     )
-                except Exception:
+                except Exception:  # noqa: REPRO004 - best-effort publish of an already-recorded last_error; the hub may itself be failing
                     pass
 
     def shutdown(self, *, drain_seconds: float | None = 5.0) -> Path:

@@ -28,7 +28,12 @@ import numpy as np
 
 from ..baselines.ols import OLSRegressor
 from ..data.synthetic import SyntheticDataset
-from ..exceptions import ConfigurationError, EmptySubspaceError, StorageError
+from ..exceptions import (
+    ConfigurationError,
+    EmptySubspaceError,
+    InternalInvariantError,
+    StorageError,
+)
 from ..queries.geometry import lp_distance_matrix, pairwise_lp_distance
 from ..queries.query import Query, QueryAnswer
 from .spatial_index import (
@@ -648,8 +653,10 @@ class SegmentedBatchPipeline:
             order = self.grid.clustered_order
             self._clustered_inputs = self._inputs[order]
             self._clustered_outputs = self._outputs[order]
-        assert self._clustered_inputs is not None
-        assert self._clustered_outputs is not None
+        if self._clustered_inputs is None or self._clustered_outputs is None:
+            raise InternalInvariantError(
+                "clustered row arrays missing after lazy build"
+            )
         return self._clustered_inputs, self._clustered_outputs
 
     def _cell_aggregates(self, kind: str) -> np.ndarray:

@@ -56,6 +56,7 @@ from typing import TYPE_CHECKING, Callable, Iterable
 
 import numpy as np
 
+from ..analysis.instrument import make_lock, make_rlock, note_access
 from ..core.model import LLMModel
 from ..core.persistence import load_model, save_model
 from ..core.training import StreamingTrainer
@@ -337,6 +338,10 @@ class ModelManager:
         self._hub = service.observers
         self._tables: dict[str, _ManagedTable] = {}
         self._version_counter = 0
+        # Serialises the drift state against the scheduler thread: manage /
+        # restore_state run on the caller's thread while tick / retrain run
+        # on the scheduler's, and both mutate the same per-table records.
+        self._lock = make_rlock("lifecycle.ModelManager.state")
 
     # ------------------------------------------------------------------ #
     # registration / introspection
@@ -357,16 +362,19 @@ class ModelManager:
         rows appended since the last build are both *labelled from* and
         *served by* the refreshed engine.
         """
-        state = self._tables.get(table) or _ManagedTable()
-        state.store = store
-        state.store_table = store_table or table
-        state.window = deque(maxlen=self.policy.window_buckets)
-        state.snapshot = self.service.statistics_for(table).snapshot()
-        self._tables[table] = state
+        with self._lock:
+            note_access(self, "tables")
+            state = self._tables.get(table) or _ManagedTable()
+            state.store = store
+            state.store_table = store_table or table
+            state.window = deque(maxlen=self.policy.window_buckets)
+            state.snapshot = self.service.statistics_for(table).snapshot()
+            self._tables[table] = state
 
     @property
     def managed_tables(self) -> list[str]:
-        return sorted(self._tables)
+        with self._lock:
+            return sorted(self._tables)
 
     def _state(self, table: str) -> _ManagedTable:
         try:
@@ -378,29 +386,32 @@ class ModelManager:
 
     def window_fallback_rate(self, table: str) -> float:
         """The current sliding-window fallback rate of a managed table."""
-        state = self._state(table)
-        statements = sum(s for s, _ in state.window)
-        if statements == 0:
-            return 0.0
-        return sum(f for _, f in state.window) / statements
+        with self._lock:
+            state = self._state(table)
+            statements = sum(s for s, _ in state.window)
+            if statements == 0:
+                return 0.0
+            return sum(f for _, f in state.window) / statements
 
     def window_statements(self, table: str) -> int:
         """Statements currently inside a managed table's sliding window."""
-        return sum(s for s, _ in self._state(table).window)
+        with self._lock:
+            return sum(s for s, _ in self._state(table).window)
 
     def status_for(self, table: str) -> dict:
         """A snapshot of a managed table's lifecycle state (for dashboards)."""
-        state = self._state(table)
-        return {
-            "window_fallback_rate": self.window_fallback_rate(table),
-            "window_statements": self.window_statements(table),
-            "consecutive_failures": state.consecutive_failures,
-            "next_eligible": state.next_eligible,
-            "retrain_count": state.retrain_count,
-            "rollback_count": state.rollback_count,
-            "last_status": state.last_status,
-            "model_version": self.service.model_version_for(table),
-        }
+        with self._lock:
+            state = self._state(table)
+            return {
+                "window_fallback_rate": self.window_fallback_rate(table),
+                "window_statements": self.window_statements(table),
+                "consecutive_failures": state.consecutive_failures,
+                "next_eligible": state.next_eligible,
+                "retrain_count": state.retrain_count,
+                "rollback_count": state.rollback_count,
+                "last_status": state.last_status,
+                "model_version": self.service.model_version_for(table),
+            }
 
     # ------------------------------------------------------------------ #
     # durability: state export / restore
@@ -413,17 +424,22 @@ class ModelManager:
         an arbitrary origin in a new process, so an absolute deadline
         would be meaningless (or worse, in the past) after a restart.
         """
-        state = self._state(table)
-        return {
-            "window": [[int(s), int(f)] for s, f in state.window],
-            "consecutive_failures": state.consecutive_failures,
-            "cooldown_remaining": max(0.0, state.next_eligible - self._clock()),
-            "retrain_count": state.retrain_count,
-            "rollback_count": state.rollback_count,
-            "last_status": state.last_status,
-            "store_path": state.store.path if state.store is not None else None,
-            "store_table": state.store_table,
-        }
+        with self._lock:
+            state = self._state(table)
+            return {
+                "window": [[int(s), int(f)] for s, f in state.window],
+                "consecutive_failures": state.consecutive_failures,
+                "cooldown_remaining": max(
+                    0.0, state.next_eligible - self._clock()
+                ),
+                "retrain_count": state.retrain_count,
+                "rollback_count": state.rollback_count,
+                "last_status": state.last_status,
+                "store_path": (
+                    state.store.path if state.store is not None else None
+                ),
+                "store_table": state.store_table,
+            }
 
     def restore_state(
         self, table: str, payload: dict, *, now: float | None = None
@@ -436,19 +452,23 @@ class ModelManager:
         detection then continues from the persisted window instead of
         starting cold.
         """
-        state = self._state(table)
-        if now is None:
-            now = self._clock()
-        state.window.clear()
-        for statements, fallbacks in payload.get("window", []):
-            state.window.append((int(statements), int(fallbacks)))
-        state.consecutive_failures = int(payload.get("consecutive_failures", 0))
-        remaining = float(payload.get("cooldown_remaining", 0.0))
-        state.next_eligible = now + max(0.0, remaining)
-        state.retrain_count = int(payload.get("retrain_count", 0))
-        state.rollback_count = int(payload.get("rollback_count", 0))
-        state.last_status = str(payload.get("last_status", "idle"))
-        state.snapshot = self.service.statistics_for(table).snapshot()
+        with self._lock:
+            note_access(self, "tables")
+            state = self._state(table)
+            if now is None:
+                now = self._clock()
+            state.window.clear()
+            for statements, fallbacks in payload.get("window", []):
+                state.window.append((int(statements), int(fallbacks)))
+            state.consecutive_failures = int(
+                payload.get("consecutive_failures", 0)
+            )
+            remaining = float(payload.get("cooldown_remaining", 0.0))
+            state.next_eligible = now + max(0.0, remaining)
+            state.retrain_count = int(payload.get("retrain_count", 0))
+            state.rollback_count = int(payload.get("rollback_count", 0))
+            state.last_status = str(payload.get("last_status", "idle"))
+            state.snapshot = self.service.statistics_for(table).snapshot()
 
     # ------------------------------------------------------------------ #
     # the watch loop
@@ -465,9 +485,11 @@ class ModelManager:
         if now is None:
             now = self._clock()
         statuses: dict[str, str] = {}
-        for table, state in self._tables.items():
-            statuses[table] = self._tick_table(table, state, now)
-            state.last_status = statuses[table]
+        with self._lock:
+            note_access(self, "tables")
+            for table, state in self._tables.items():
+                statuses[table] = self._tick_table(table, state, now)
+                state.last_status = statuses[table]
         return statuses
 
     def _tick_table(self, table: str, state: _ManagedTable, now: float) -> str:
@@ -510,6 +532,11 @@ class ModelManager:
         every exit: the table serves either the old model or the
         fully-trained, persisted new one — never an intermediate state.
         """
+        with self._lock:
+            note_access(self, "tables")
+            return self._retrain_locked(table, now=now)
+
+    def _retrain_locked(self, table: str, *, now: float | None = None) -> str:
         state = self._state(table)
         if now is None:
             now = self._clock()
@@ -706,7 +733,7 @@ class LifecycleScheduler:
         self.interval_seconds = float(interval_seconds)
         self._stop_event = threading.Event()
         self._thread: threading.Thread | None = None
-        self._lock = threading.Lock()
+        self._lock = make_lock("lifecycle.LifecycleScheduler")
         self.tick_count = 0
         self.error_count = 0
         self.last_statuses: dict[str, str] = {}
@@ -754,7 +781,7 @@ class LifecycleScheduler:
                     self.manager.service.observers.publish(
                         "scheduler.error", error=repr(exc)
                     )
-                except Exception:
+                except Exception:  # noqa: REPRO004 - best-effort publish after error_count was already incremented above
                     pass  # a broken observer must not kill the loop either
             else:
                 self.tick_count += 1

@@ -23,6 +23,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Protocol, runtime_checkable
 
+from ..analysis.instrument import make_lock
+
 __all__ = [
     "LifecycleEvent",
     "LifecycleObserver",
@@ -93,7 +95,7 @@ class ObserverHub:
         wall_clock: Callable[[], float] = time.time,
     ) -> None:
         self._observers: list[LifecycleObserver] = []
-        self._lock = threading.Lock()
+        self._lock = make_lock("observer.ObserverHub")
         self._sequence = itertools.count()
         self._clock = clock
         self._wall_clock = wall_clock
@@ -128,7 +130,7 @@ class ObserverHub:
         for observer in observers:
             try:
                 observer.notify(event)
-            except Exception:
+            except Exception:  # noqa: REPRO004 - counted in dropped_notifications; the hub IS the error channel and cannot publish to itself
                 # An observer must never take the serving path down.
                 self.dropped_notifications += 1
         return event
@@ -158,7 +160,7 @@ class RecordingObserver:
 
     def __init__(self) -> None:
         self.events: list[LifecycleEvent] = []
-        self._lock = threading.Lock()
+        self._lock = make_lock("observer.RecordingObserver")
 
     def notify(self, event: LifecycleEvent) -> None:
         with self._lock:

@@ -63,6 +63,7 @@ from typing import TYPE_CHECKING, Callable, Literal, Mapping, Sequence
 
 import numpy as np
 
+from ..analysis.instrument import make_lock, make_rlock, note_access
 from ..exceptions import (
     CircuitOpenError,
     ConfigurationError,
@@ -187,7 +188,7 @@ class CircuitBreaker:
         self._state = self.CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
-        self._lock = threading.Lock()
+        self._lock = make_lock("serving.CircuitBreaker")
 
     @property
     def state(self) -> str:
@@ -387,6 +388,7 @@ class ServingStatistics:
         """
         if count <= 0:
             return
+        note_access(self, "counters")
         amortised = seconds / count
         self.statements_executed += count
         self.batches_executed += 1
@@ -566,6 +568,7 @@ class ServingStatistics:
 
     def merge(self, other: "ServingStatistics") -> None:
         """Fold another statistics object into this one (counters add)."""
+        note_access(self, "counters")
         self.statements_executed += other.statements_executed
         self.batches_executed += other.batches_executed
         self.model_answered += other.model_answered
@@ -596,6 +599,7 @@ class ServingStatistics:
 
     def reset(self) -> None:
         """Clear all counters."""
+        note_access(self, "counters")
         self.statements_executed = 0
         self.batches_executed = 0
         self.model_answered = 0
@@ -745,8 +749,8 @@ class AnalyticsService:
         self._query_logs: dict[str, QueryLog] = {}
         self._statistics: dict[str, ServingStatistics] = {}
         self._breakers: dict[tuple[str, str], CircuitBreaker] = {}
-        self._registry_lock = threading.RLock()
-        self._stats_lock = threading.Lock()
+        self._registry_lock = make_rlock("serving.AnalyticsService.registry")
+        self._stats_lock = make_lock("serving.AnalyticsService.stats")
         self._timeout_pool: ThreadPoolExecutor | None = None
 
     # ------------------------------------------------------------------ #

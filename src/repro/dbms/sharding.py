@@ -73,7 +73,11 @@ from typing import Sequence
 import numpy as np
 
 from ..data.synthetic import SyntheticDataset
-from ..exceptions import ConfigurationError, StorageError
+from ..exceptions import (
+    ConfigurationError,
+    InternalInvariantError,
+    StorageError,
+)
 from ..queries.geometry import pairwise_lp_distance
 from ..queries.query import Query, QueryAnswer
 from .executor import (
@@ -639,13 +643,19 @@ class ShardedQueryEngine:
     def execute_q1(self, query: Query) -> QueryAnswer:
         """Single-query Q1 through the sharded batch path."""
         answer = self.execute_q1_batch([query])[0]
-        assert answer is not None
+        if answer is None:
+            raise InternalInvariantError(
+                "sharded Q1 batch path returned no answer for its one query"
+            )
         return answer
 
     def execute_q2(self, query: Query) -> QueryAnswer:
         """Single-query Q2 through the sharded batch path."""
         answer = self.execute_q2_batch([query])[0]
-        assert answer is not None
+        if answer is None:
+            raise InternalInvariantError(
+                "sharded Q2 batch path returned no answer for its one query"
+            )
         return answer
 
     def mean_value(self, query: Query) -> float:

@@ -18,7 +18,11 @@ from typing import Iterable
 
 import numpy as np
 
-from ..exceptions import ConfigurationError, DimensionalityMismatchError
+from ..exceptions import (
+    ConfigurationError,
+    DimensionalityMismatchError,
+    InternalInvariantError,
+)
 from ..queries.geometry import pairwise_lp_distance
 
 __all__ = [
@@ -307,7 +311,10 @@ class GridIndex:
         original row index.
         """
         self._ensure_clustered()
-        assert self._clustered_order is not None
+        if self._clustered_order is None:
+            raise InternalInvariantError(
+                "clustered order missing after _ensure_clustered"
+            )
         return self._clustered_order
 
     def candidate_ranges_batch(
@@ -388,7 +395,10 @@ class GridIndex:
         if radii.size and (np.min(radii) < 0 or not np.all(np.isfinite(radii))):
             raise ConfigurationError("radii must all be finite and >= 0")
         self._ensure_clustered()
-        assert self._clustered_flat is not None
+        if self._clustered_flat is None:
+            raise InternalInvariantError(
+                "clustered cell ids missing after _ensure_clustered"
+            )
         empty = np.empty(0, dtype=np.int64)
         m, d = centers.shape
         if m == 0:

@@ -7,6 +7,8 @@ from typing import Callable, Iterable
 
 import numpy as np
 
+from ..exceptions import InternalInvariantError
+
 __all__ = [
     "Stopwatch",
     "measure_mean_latency",
@@ -35,7 +37,10 @@ class Stopwatch:
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        assert self._start is not None
+        if self._start is None:
+            raise InternalInvariantError(
+                "Stopwatch.__exit__ reached without __enter__"
+            )
         self.elapsed = time.perf_counter() - self._start
 
 

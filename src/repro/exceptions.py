@@ -155,6 +155,16 @@ class ServiceClosedError(ConfigurationError):
     """
 
 
+class InternalInvariantError(ReproError):
+    """A "cannot happen" internal invariant was violated (a library bug).
+
+    Replaces bare ``assert`` statements on internal invariants: an
+    ``assert`` vanishes under ``python -O``, silently turning an invariant
+    check into undefined behaviour, while this error survives optimisation
+    and still narrows ``Optional`` types for static checkers.
+    """
+
+
 class ConvergenceError(ReproError):
     """Training failed to converge within the allowed number of steps."""
 

@@ -26,6 +26,43 @@ from repro import (
 )
 
 
+def pytest_sessionstart(session: pytest.Session) -> None:
+    """Activate the runtime race detector when ``REPRO_RACE_CHECK=1``.
+
+    Every lock the instrumented dbms modules create during the run then
+    participates in the lockset and lock-order analyses; the report lands
+    in :func:`pytest_sessionfinish`.
+    """
+    from repro.analysis import instrument
+
+    if instrument.race_check_requested():
+        instrument.enable()
+
+
+def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
+    """Fail the run if the race detector collected any findings."""
+    from repro.analysis import instrument
+
+    registry = instrument.active_registry()
+    if registry is None:
+        return
+    findings = registry.findings()
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    lines = [
+        f"race check: {registry.lock_count} locks, "
+        f"{registry.acquire_count} acquisitions, "
+        f"{len(findings)} finding(s)"
+    ]
+    if findings:
+        lines.append(registry.format_report())
+        session.exitstatus = 1
+    for line in lines:
+        if reporter is not None:
+            reporter.write_line(line)
+        else:
+            print(line)
+
+
 @pytest.fixture(scope="session")
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

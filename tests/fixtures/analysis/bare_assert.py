@@ -1,0 +1,6 @@
+"""Fixture: trips REPRO002 exactly once — an assert guarding a contract."""
+
+
+def halve(value: int) -> int:
+    assert value % 2 == 0
+    return value // 2

@@ -1,0 +1,40 @@
+"""Fixture: the clean counterpart — a near-miss of every rule, zero findings.
+
+Each function walks right up to the line a rule draws without crossing
+it, so the linter's precision (not just its recall) is under test.
+"""
+
+import os
+import time
+from typing import Callable
+
+
+def stamp(clock: Callable[[], float] = time.time) -> float:
+    # Referencing the clock as a default is the seam; only calls are flagged.
+    return clock()
+
+
+def audited(value: int) -> int:
+    if value % 2:
+        raise ValueError("odd")  # builtin raise is fine outside repro.dbms
+    return value // 2
+
+
+class Recorder:
+    def __init__(self) -> None:
+        self.last_error: BaseException | None = None
+
+    def poll(self, callback: Callable[[], None]) -> None:
+        try:
+            callback()
+        except Exception as exc:
+            self.last_error = exc  # recorded, not swallowed
+
+
+def persist(fd: int, payload: bytes) -> None:
+    os.write(fd, payload)
+    os.fsync(fd)
+
+
+def suppressed_stamp() -> float:
+    return time.time()  # noqa: REPRO001 - fixture exercising suppression

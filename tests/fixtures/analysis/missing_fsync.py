@@ -1,0 +1,7 @@
+"""Fixture: trips REPRO005 exactly once — os.write without an fsync."""
+
+import os
+
+
+def persist(fd: int, payload: bytes) -> None:
+    os.write(fd, payload)

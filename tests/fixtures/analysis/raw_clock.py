@@ -1,0 +1,7 @@
+"""Fixture: trips REPRO001 exactly once — a raw wall-clock call."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

@@ -1,0 +1,10 @@
+"""Fixture: trips REPRO003 exactly once — a builtin raise in the dbms tier.
+
+The ``src/repro/dbms`` path segments make :func:`module_name_for` resolve
+this file to ``repro.dbms.untyped_raise``, which is what puts it in the
+rule's scope.
+"""
+
+
+def explode() -> None:
+    raise ValueError("builtin raise escapes the typed exception taxonomy")

@@ -1,0 +1,10 @@
+"""Fixture: trips REPRO004 exactly once — a silently swallowed error."""
+
+from typing import Callable
+
+
+def poll(callback: Callable[[], None]) -> None:
+    try:
+        callback()
+    except Exception:
+        pass

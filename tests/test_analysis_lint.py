@@ -1,0 +1,212 @@
+"""The invariant linter: rules, suppression, scoping, CLI, dogfooding.
+
+The fixture tree under ``tests/fixtures/analysis`` holds one file per
+rule that trips it exactly once, plus a ``clean.py`` that walks up to
+every rule's line without crossing it — so both recall (each seeded
+violation found) and precision (no finding on the near-misses) are
+pinned.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.linter import (
+    lint_file,
+    lint_paths,
+    lint_source,
+    module_name_for,
+    report_json,
+)
+from repro.analysis.rules import DEFAULT_RULES, RULES_BY_CODE
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+ALL_CODES = tuple(rule.code for rule in DEFAULT_RULES)
+
+
+# ---------------------------------------------------------------------- #
+# seeded fixtures: each rule trips exactly once
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    ("fixture", "code"),
+    [
+        ("raw_clock.py", "REPRO001"),
+        ("bare_assert.py", "REPRO002"),
+        ("src/repro/dbms/untyped_raise.py", "REPRO003"),
+        ("swallowed.py", "REPRO004"),
+        ("missing_fsync.py", "REPRO005"),
+    ],
+)
+def test_fixture_trips_its_rule_exactly_once(fixture: str, code: str) -> None:
+    findings = lint_file(FIXTURES / fixture)
+    assert [f.rule for f in findings] == [code]
+    assert findings[0].line > 0
+    assert findings[0].column > 0
+
+
+def test_fixture_tree_trips_every_rule_exactly_once() -> None:
+    findings, checked = lint_paths([FIXTURES])
+    assert checked == 6  # five violations plus clean.py
+    assert sorted(f.rule for f in findings) == sorted(ALL_CODES)
+
+
+def test_clean_fixture_has_no_findings() -> None:
+    assert lint_file(FIXTURES / "clean.py") == []
+
+
+# ---------------------------------------------------------------------- #
+# suppression and scoping
+# ---------------------------------------------------------------------- #
+def test_noqa_with_matching_code_suppresses() -> None:
+    source = "import time\nnow = time.time()  # noqa: REPRO001 - seam\n"
+    assert lint_source(source) == []
+
+
+def test_noqa_with_other_code_does_not_suppress() -> None:
+    source = "import time\nnow = time.time()  # noqa: REPRO002\n"
+    assert [f.rule for f in lint_source(source)] == ["REPRO001"]
+
+
+def test_bare_noqa_suppresses_every_rule_on_the_line() -> None:
+    source = "import time\nnow = time.time()  # noqa\n"
+    assert lint_source(source) == []
+
+
+def test_noqa_on_another_line_does_not_suppress() -> None:
+    source = "import time\n# noqa: REPRO001\nnow = time.time()\n"
+    assert [f.rule for f in lint_source(source)] == ["REPRO001"]
+
+
+def test_repro003_is_scoped_to_the_dbms_tier() -> None:
+    source = 'raise ValueError("boom")\n'
+    assert lint_source(source, module_name="tools.helper") == []
+    findings = lint_source(source, module_name="repro.dbms.helper")
+    assert [f.rule for f in findings] == ["REPRO003"]
+
+
+def test_module_name_anchors_at_src() -> None:
+    assert module_name_for("src/repro/dbms/serving.py") == "repro.dbms.serving"
+    assert module_name_for("src/repro/__init__.py") == "repro"
+    assert module_name_for("somewhere/helper.py") == "helper"
+
+
+# ---------------------------------------------------------------------- #
+# rule edge cases (precision)
+# ---------------------------------------------------------------------- #
+def test_repro001_tracks_import_aliases() -> None:
+    aliased_module = "import time as clk\nnow = clk.time()\n"
+    assert [f.rule for f in lint_source(aliased_module)] == ["REPRO001"]
+    aliased_function = "from time import monotonic as now\nt = now()\n"
+    assert [f.rule for f in lint_source(aliased_function)] == ["REPRO001"]
+
+
+def test_repro001_ignores_unrelated_time_names() -> None:
+    # No ``time`` import: a parameter that happens to be called ``time``
+    # is not the stdlib clock.
+    source = "def f(time):\n    return time.time()\n"
+    assert lint_source(source) == []
+
+
+def test_repro004_accepts_each_discipline() -> None:
+    reraise = (
+        "def f(cb):\n"
+        "    try:\n"
+        "        cb()\n"
+        "    except Exception:\n"
+        "        raise\n"
+    )
+    publish = (
+        "def f(self, cb):\n"
+        "    try:\n"
+        "        cb()\n"
+        "    except Exception as exc:\n"
+        "        self._hub.publish(exc)\n"
+    )
+    record = (
+        "def f(self, cb):\n"
+        "    try:\n"
+        "        cb()\n"
+        "    except Exception as exc:\n"
+        "        self.last_error = exc\n"
+    )
+    for source in (reraise, publish, record):
+        assert lint_source(source) == []
+
+
+def test_repro004_flags_bare_except() -> None:
+    source = "def f(cb):\n    try:\n        cb()\n    except:\n        pass\n"
+    assert [f.rule for f in lint_source(source)] == ["REPRO004"]
+
+
+def test_repro005_nested_defs_are_separate_scopes() -> None:
+    # An fsync inside a *nested* function does not cover the outer write.
+    source = (
+        "import os\n"
+        "def outer(fd):\n"
+        "    def flush():\n"
+        "        os.fsync(fd)\n"
+        "    os.write(fd, b'x')\n"
+    )
+    assert [f.rule for f in lint_source(source)] == ["REPRO005"]
+
+
+# ---------------------------------------------------------------------- #
+# reporting, CLI, and dogfooding
+# ---------------------------------------------------------------------- #
+def test_report_json_shape() -> None:
+    findings, checked = lint_paths([FIXTURES])
+    payload = json.loads(report_json(findings, checked))
+    assert payload["files_checked"] == checked
+    assert payload["finding_count"] == len(findings)
+    assert payload["findings_by_rule"] == {code: 1 for code in ALL_CODES}
+    assert {f["rule"] for f in payload["findings"]} == set(ALL_CODES)
+
+
+def test_repo_source_tree_is_lint_clean() -> None:
+    """The CI gate, in-process: ``lint src`` finds nothing."""
+    findings, checked = lint_paths([REPO_SRC])
+    assert checked > 40
+    assert findings == []
+
+
+def test_cli_lint_exits_nonzero_on_fixtures(capsys: pytest.CaptureFixture) -> None:
+    assert main(["lint", str(FIXTURES)]) == 1
+    out = capsys.readouterr().out
+    assert "REPRO001" in out
+    assert "5 finding(s) in 6 file(s)" in out
+
+
+def test_cli_lint_exits_zero_on_src(capsys: pytest.CaptureFixture) -> None:
+    assert main(["lint", str(REPO_SRC)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_cli_lint_json_format(capsys: pytest.CaptureFixture) -> None:
+    assert main(["lint", str(FIXTURES), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["finding_count"] == 5
+
+
+def test_cli_lint_select_restricts_rules(capsys: pytest.CaptureFixture) -> None:
+    assert main(["lint", str(FIXTURES), "--select", "REPRO002"]) == 1
+    out = capsys.readouterr().out
+    assert "1 finding(s)" in out
+    assert "REPRO001" not in out
+
+
+def test_cli_lint_select_rejects_unknown_rule() -> None:
+    with pytest.raises(SystemExit):
+        main(["lint", str(FIXTURES), "--select", "REPRO999"])
+
+
+def test_cli_rules_prints_the_catalogue(capsys: pytest.CaptureFixture) -> None:
+    assert main(["rules"]) == 0
+    out = capsys.readouterr().out
+    for code in RULES_BY_CODE:
+        assert code in out

@@ -1,0 +1,331 @@
+"""The runtime detectors: lockset races, lock-order cycles, the seams.
+
+Every test drives a *private* :class:`RaceRegistry` (never the global
+one), so seeded races cannot leak into a surrounding
+``REPRO_RACE_CHECK=1`` session — the same isolation the production
+``use_registry`` seam provides.
+"""
+
+from __future__ import annotations
+
+import gc
+import threading
+from typing import Callable
+
+import pytest
+
+from repro.analysis import instrument
+from repro.analysis.cli import run_selfcheck
+from repro.analysis.races import CheckedLock, RaceRegistry
+
+
+class Owner:
+    """A weakref-able stand-in for an instrumented service object."""
+
+
+def run_on_thread(fn: Callable[[], None], name: str = "worker") -> None:
+    thread = threading.Thread(target=fn, name=name)
+    thread.start()
+    thread.join()
+
+
+@pytest.fixture()
+def registry() -> RaceRegistry:
+    return RaceRegistry(capture_stacks=False)
+
+
+@pytest.fixture()
+def preserved_global_registry():
+    """Restore whatever registry the session had active (maybe none)."""
+    previous = instrument.active_registry()
+    try:
+        yield
+    finally:
+        if previous is None:
+            instrument.disable()
+        else:
+            instrument.enable(previous)
+
+
+# ---------------------------------------------------------------------- #
+# lockset algorithm
+# ---------------------------------------------------------------------- #
+def test_two_thread_unguarded_write_is_flagged() -> None:
+    registry = RaceRegistry()  # stacks on: the report must carry them
+    owner = Owner()
+    registry.note_access(owner, "value")
+    run_on_thread(lambda: registry.note_access(owner, "value"), "racer")
+    findings = registry.race_findings()
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.touchpoint == "Owner.value"
+    assert "racer" in finding.threads
+    assert finding.unprotected_stack  # stacks captured for the report
+    assert "candidate race on Owner.value" in finding.format()
+
+
+def test_guarded_writes_are_clean(registry: RaceRegistry) -> None:
+    owner = Owner()
+    guard = registry.make_lock("guard")
+
+    def locked_write() -> None:
+        with guard:
+            registry.note_access(owner, "value")
+
+    locked_write()
+    run_on_thread(locked_write)
+    assert registry.findings() == []
+
+
+def test_single_thread_writes_stay_exclusive(registry: RaceRegistry) -> None:
+    owner = Owner()
+    for _ in range(100):
+        registry.note_access(owner, "value")
+    assert registry.race_findings() == []
+
+
+def test_read_only_sharing_is_clean(registry: RaceRegistry) -> None:
+    owner = Owner()
+    registry.note_access(owner, "value")  # writer initialises...
+    for name in ("reader-1", "reader-2"):  # ...then only readers arrive
+        run_on_thread(
+            lambda: registry.note_access(owner, "value", write=False), name
+        )
+    assert registry.race_findings() == []
+
+
+def test_race_is_reported_once_per_touchpoint(registry: RaceRegistry) -> None:
+    owner = Owner()
+    registry.note_access(owner, "value")
+    for round_ in range(3):
+        run_on_thread(
+            lambda: registry.note_access(owner, "value"), f"racer-{round_}"
+        )
+    assert len(registry.race_findings()) == 1
+
+
+def test_inconsistent_locksets_intersect_to_empty(registry: RaceRegistry) -> None:
+    owner = Owner()
+    lock_a = registry.make_lock("A")
+    lock_b = registry.make_lock("B")
+    with lock_a:
+        registry.note_access(owner, "value")
+    run_on_thread(lambda: _locked_write(registry, lock_b, owner))
+    assert registry.race_findings() == []  # candidate lockset {B}: not empty
+    with lock_a:
+        registry.note_access(owner, "value")  # {B} & {A} = {} on a write
+    assert len(registry.race_findings()) == 1
+
+
+def _locked_write(
+    registry: RaceRegistry, lock: CheckedLock, owner: object
+) -> None:
+    with lock:
+        registry.note_access(owner, "value")
+
+
+def test_owner_name_overrides_the_type_label(registry: RaceRegistry) -> None:
+    owner = Owner()
+    registry.note_access(owner, "hits", owner_name="ServingStatistics")
+    run_on_thread(
+        lambda: registry.note_access(owner, "hits", owner_name="ServingStatistics")
+    )
+    assert registry.race_findings()[0].touchpoint == "ServingStatistics.hits"
+
+
+def test_collected_owner_state_is_forgotten(registry: RaceRegistry) -> None:
+    owner = Owner()
+    key = (id(owner), "value")
+    registry.note_access(owner, "value")
+    assert key in registry._vars
+    del owner
+    gc.collect()
+    # A recycled id() must start virgin, not inherit the old lockset.
+    assert key not in registry._vars
+
+
+# ---------------------------------------------------------------------- #
+# lock-order graph
+# ---------------------------------------------------------------------- #
+def test_opposite_order_nesting_reports_one_cycle(registry: RaceRegistry) -> None:
+    lock_a = registry.make_lock("order.A")
+    lock_b = registry.make_lock("order.B")
+
+    def a_then_b() -> None:
+        with lock_a:
+            with lock_b:
+                pass
+
+    def b_then_a() -> None:
+        with lock_b:
+            with lock_a:
+                pass
+
+    run_on_thread(a_then_b, "order-1")
+    run_on_thread(b_then_a, "order-2")
+    cycles = registry.deadlock_findings()
+    assert len(cycles) == 1
+    assert set(cycles[0].cycle) == {"order.A", "order.B"}
+    assert "potential deadlock" in cycles[0].format()
+
+
+def test_cycle_stacks_cover_both_edges() -> None:
+    registry = RaceRegistry()  # stacks on
+    lock_a = registry.make_lock("A")
+    lock_b = registry.make_lock("B")
+    with lock_a:
+        with lock_b:
+            pass
+    with lock_b:
+        with lock_a:
+            pass
+    (cycle,) = registry.deadlock_findings()
+    assert len(cycle.stacks) == 2
+    assert all(cycle.stacks)
+
+
+def test_consistent_order_has_no_cycle(registry: RaceRegistry) -> None:
+    lock_a = registry.make_lock("A")
+    lock_b = registry.make_lock("B")
+    for _ in range(3):
+        with lock_a:
+            with lock_b:
+                pass
+    assert registry.deadlock_findings() == []
+
+
+def test_three_lock_cycle_is_found_once(registry: RaceRegistry) -> None:
+    lock_a = registry.make_lock("A")
+    lock_b = registry.make_lock("B")
+    lock_c = registry.make_lock("C")
+    for first, second in ((lock_a, lock_b), (lock_b, lock_c), (lock_c, lock_a)):
+        with first:
+            with second:
+                pass
+    cycles = registry.deadlock_findings()
+    assert len(cycles) == 1
+    assert set(cycles[0].cycle) == {"A", "B", "C"}
+
+
+def test_reentrant_rlock_adds_no_self_edge(registry: RaceRegistry) -> None:
+    rlock = registry.make_rlock("reentrant")
+    with rlock:
+        with rlock:
+            pass
+    assert registry.deadlock_findings() == []
+
+
+def test_failed_nonblocking_acquire_is_not_recorded(
+    registry: RaceRegistry,
+) -> None:
+    lock = registry.make_lock("contested")
+    assert lock.acquire() is True
+    result: dict[str, bool] = {}
+
+    def try_acquire() -> None:
+        result["ok"] = lock.acquire(blocking=False)
+
+    run_on_thread(try_acquire)
+    assert result["ok"] is False
+    assert registry.acquire_count == 1  # the miss never joined the graph
+    lock.release()
+
+
+def test_checked_lock_reports_locked_state(registry: RaceRegistry) -> None:
+    lock = registry.make_lock("probe")
+    assert lock.locked() is False
+    with lock:
+        assert lock.locked() is True
+    assert isinstance(registry.make_rlock("probe-r").locked(), bool)
+
+
+# ---------------------------------------------------------------------- #
+# reporting and reset
+# ---------------------------------------------------------------------- #
+def test_format_report_clean_and_failed(registry: RaceRegistry) -> None:
+    assert "race check clean" in registry.format_report()
+    owner = Owner()
+    registry.note_access(owner, "value")
+    run_on_thread(lambda: registry.note_access(owner, "value"))
+    report = registry.format_report()
+    assert "race check FAILED" in report
+    assert "Owner.value" in report
+
+
+def test_reset_drops_findings_and_counters(registry: RaceRegistry) -> None:
+    owner = Owner()
+    registry.note_access(owner, "value")
+    run_on_thread(lambda: registry.note_access(owner, "value"))
+    assert registry.findings()
+    registry.reset()
+    assert registry.findings() == []
+    assert registry.access_count == 0
+
+
+def test_run_selfcheck_is_clean() -> None:
+    assert run_selfcheck() == []
+
+
+# ---------------------------------------------------------------------- #
+# the instrument seams
+# ---------------------------------------------------------------------- #
+def test_seams_return_plain_primitives_when_inactive(
+    preserved_global_registry: None,
+) -> None:
+    instrument.disable()
+    lock = instrument.make_lock("plain")
+    rlock = instrument.make_rlock("plain-r")
+    assert not isinstance(lock, CheckedLock)
+    assert not isinstance(rlock, CheckedLock)
+    with lock:
+        pass
+    instrument.note_access(object(), "value")  # no-op, must not raise
+
+
+def test_use_registry_routes_and_restores(
+    preserved_global_registry: None,
+) -> None:
+    instrument.disable()
+    private = RaceRegistry(capture_stacks=False)
+    with instrument.use_registry(private) as active:
+        assert active is private
+        assert instrument.active_registry() is private
+        lock = instrument.make_lock("bound")
+        instrument.note_access(object(), "value")
+    assert instrument.active_registry() is None
+    # The lock stays bound to the registry that created it for life.
+    assert isinstance(lock, CheckedLock)
+    before = private.acquire_count
+    with lock:
+        pass
+    assert private.acquire_count == before + 1
+
+
+def test_enable_reuses_and_disable_clears(
+    preserved_global_registry: None,
+) -> None:
+    instrument.disable()
+    first = instrument.enable()
+    assert instrument.active_registry() is first
+    assert instrument.enable() is first  # idempotent while active
+    instrument.disable()
+    assert instrument.active_registry() is None
+
+
+@pytest.mark.parametrize(
+    ("value", "expected"),
+    [
+        ("1", True),
+        ("true", True),
+        ("YES", True),
+        (" on ", True),
+        ("0", False),
+        ("", False),
+        ("off", False),
+    ],
+)
+def test_race_check_requested_env_parsing(
+    monkeypatch: pytest.MonkeyPatch, value: str, expected: bool
+) -> None:
+    monkeypatch.setenv("REPRO_RACE_CHECK", value)
+    assert instrument.race_check_requested() is expected
